@@ -1,0 +1,56 @@
+package osars
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchRequest is one unit of work for SummarizeBatch.
+type BatchRequest struct {
+	Item        *Item
+	K           int
+	Granularity Granularity
+	Method      Method
+}
+
+// BatchResult pairs a request's summary with its error; exactly one of
+// the two fields is set.
+type BatchResult struct {
+	Summary *Summary
+	Err     error
+}
+
+// SummarizeBatch runs many summarizations concurrently with a bounded
+// worker pool and returns results aligned with the requests. workers ≤
+// 0 uses GOMAXPROCS. The Summarizer is safe to share across workers:
+// each request builds its own coverage graph.
+func (s *Summarizer) SummarizeBatch(reqs []BatchRequest, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	results := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sum, err := s.Summarize(reqs[i].Item, reqs[i].K, reqs[i].Granularity, reqs[i].Method)
+				results[i] = BatchResult{Summary: sum, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

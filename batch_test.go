@@ -1,0 +1,70 @@
+package osars
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSummarizeBatchMatchesSequential(t *testing.T) {
+	s := testSummarizer(t)
+	var reqs []BatchRequest
+	for i := 0; i < 12; i++ {
+		item := s.AnnotateItem(fmt.Sprintf("p%d", i), "Phone", testReviews())
+		reqs = append(reqs, BatchRequest{
+			Item:        item,
+			K:           1 + i%3,
+			Granularity: Granularity(i % 3),
+			Method:      MethodGreedy,
+		})
+	}
+	results := s.SummarizeBatch(reqs, 4)
+	if len(results) != len(reqs) {
+		t.Fatalf("results = %d, want %d", len(results), len(reqs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		want, err := s.Summarize(reqs[i].Item, reqs[i].K, reqs[i].Granularity, reqs[i].Method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Summary.Cost != want.Cost {
+			t.Fatalf("request %d: batch cost %v, sequential %v", i, r.Summary.Cost, want.Cost)
+		}
+		if len(r.Summary.Indices) != len(want.Indices) {
+			t.Fatalf("request %d: selections differ", i)
+		}
+	}
+}
+
+func TestSummarizeBatchPropagatesErrors(t *testing.T) {
+	s := testSummarizer(t)
+	item := s.AnnotateItem("p", "Phone", testReviews())
+	results := s.SummarizeBatch([]BatchRequest{
+		{Item: item, K: 2, Granularity: Sentences, Method: MethodGreedy},
+		{Item: item, K: -1, Granularity: Sentences, Method: MethodGreedy}, // invalid k
+		{Item: item, K: 1, Granularity: Pairs, Method: Method(42)},        // invalid method
+	}, 2)
+	if results[0].Err != nil || results[0].Summary == nil {
+		t.Fatalf("valid request failed: %+v", results[0])
+	}
+	if results[1].Err == nil || results[2].Err == nil {
+		t.Fatal("invalid requests did not error")
+	}
+}
+
+func TestSummarizeBatchEmptyAndDefaults(t *testing.T) {
+	s := testSummarizer(t)
+	if got := s.SummarizeBatch(nil, 0); len(got) != 0 {
+		t.Fatalf("empty batch = %v", got)
+	}
+	item := s.AnnotateItem("p", "Phone", testReviews())
+	// workers <= 0 must still work (defaults to GOMAXPROCS).
+	results := s.SummarizeBatch([]BatchRequest{
+		{Item: item, K: 1, Granularity: Pairs, Method: MethodGreedy},
+	}, -3)
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+}

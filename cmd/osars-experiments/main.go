@@ -1,0 +1,377 @@
+// Command osars-experiments regenerates every table and figure of the
+// paper's evaluation (§5) on the synthetic corpora:
+//
+//	osars-experiments -exp table1   # Table 1: dataset characteristics
+//	osars-experiments -exp fig3    # Fig 3: cell-phone aspect hierarchy
+//	osars-experiments -exp fig4    # Fig 4: time evaluation, ε = 0.5
+//	osars-experiments -exp fig5    # Fig 5: cost evaluation, ε = 0.5
+//	osars-experiments -exp fig6    # Fig 6: sent-err vs five baselines
+//	osars-experiments -exp elbow   # §5.3: ε selection by elbow method
+//	osars-experiments -exp all     # everything
+//
+// Absolute numbers differ from the paper (different hardware, Gurobi
+// replaced by the built-in solver, synthetic data), but the qualitative
+// shape — who wins, by what order of magnitude, in which direction the
+// curves move — is the reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"osars/internal/baselines"
+	"osars/internal/coverage"
+	"osars/internal/dataset"
+	"osars/internal/eval"
+	"osars/internal/extract"
+	"osars/internal/model"
+	"osars/internal/ontology"
+	"osars/internal/sentiment"
+	"osars/internal/summarize"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|elbow|coverage|all")
+		items      = flag.Int("items", 10, "items to average over in fig4/fig5/fig6/elbow")
+		reviewsCap = flag.Int("reviews-cap", 70, "cap on reviews per item for the per-item experiments")
+		kMax       = flag.Int("kmax", 10, "largest summary size k in the sweeps")
+		seed       = flag.Int64("seed", 1, "corpus generation seed")
+		eps        = flag.Float64("eps", 0.5, "sentiment threshold ε (Figs 4-6)")
+		fullTable1 = flag.Bool("full-table1", true, "generate the full-size Table 1 corpora (68,686 + 33,578 reviews)")
+	)
+	flag.Parse()
+
+	ks := make([]int, 0, *kMax)
+	for k := 1; k <= *kMax; k++ {
+		ks = append(ks, k)
+	}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("\n================ %s ================\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %s]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		run("Table 1: dataset characteristics", func() error { return table1(*seed, *fullTable1) })
+	}
+	if want("fig3") {
+		run("Fig 3: cell phone aspect hierarchy", fig3)
+	}
+	if want("fig4") || want("fig5") {
+		run("Figs 4-5: time and cost evaluation (doctor reviews, ε=0.5)", func() error {
+			return figs45(*seed, *items, *reviewsCap, ks, *eps)
+		})
+	}
+	if want("fig6") {
+		run("Fig 6: sentiment error vs baselines (cell phone reviews)", func() error {
+			return fig6(*seed, *items, *reviewsCap, ks, *eps)
+		})
+	}
+	if want("elbow") {
+		run("§5.3: sentiment threshold selection (elbow method)", func() error {
+			return elbow(*seed, *items, *reviewsCap)
+		})
+	}
+	if want("coverage") {
+		run("ICDE'17 poster: coverage measures of the greedy summary", func() error {
+			return coverageMeasures(*seed, *items, *reviewsCap, ks, *eps)
+		})
+	}
+}
+
+// coverageMeasures reproduces the ICDE 2017 poster's coverage-oriented
+// evaluation of the greedy algorithm on the doctor dataset.
+func coverageMeasures(seed int64, n, reviewsCap int, ks []int, eps float64) error {
+	items, metric, err := prepareItems(dataset.DomainDoctor, seed, n, reviewsCap, eps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d doctor items, ε=%.2f, greedy summaries\n\n", len(items), eps)
+	fmt.Printf("%-4s %12s %12s %12s %12s\n", "k", "covered", "exact", "avg-dist", "norm-cost")
+	for _, k := range ks {
+		var agg eval.CoverageReport
+		for _, item := range items {
+			g := coverage.Build(metric, item, model.GranularityPairs)
+			kk := k
+			if kk > g.NumCandidates {
+				kk = g.NumCandidates
+			}
+			rep := eval.Coverage(g, summarize.Greedy(g, kk).Selected)
+			agg.CoveredRate += rep.CoveredRate
+			agg.ExactRate += rep.ExactRate
+			agg.AvgCoveredDistance += rep.AvgCoveredDistance
+			agg.NormalizedCost += rep.NormalizedCost
+		}
+		m := float64(len(items))
+		fmt.Printf("%-4d %11.1f%% %11.1f%% %12.2f %12.3f\n", k,
+			100*agg.CoveredRate/m, 100*agg.ExactRate/m, agg.AvgCoveredDistance/m, agg.NormalizedCost/m)
+	}
+	return nil
+}
+
+// table1 regenerates Table 1.
+func table1(seed int64, full bool) error {
+	dcfg, pcfg := dataset.DoctorConfig(seed), dataset.CellPhoneConfig(seed)
+	if !full {
+		dcfg, pcfg = dataset.SmallDoctorConfig(seed), dataset.SmallCellPhoneConfig(seed)
+	}
+	doctors := dataset.Generate(dcfg)
+	phones := dataset.Generate(pcfg)
+	ds, ps := dataset.ComputeStats(doctors), dataset.ComputeStats(phones)
+	fmt.Printf("%-28s %18s %18s\n", "", "Doctor reviews", "Cell phone reviews")
+	fmt.Printf("%-28s %18d %18d\n", "#Items (doctor/product)", ds.NumItems, ps.NumItems)
+	fmt.Printf("%-28s %18d %18d\n", "#Reviews", ds.NumReviews, ps.NumReviews)
+	fmt.Printf("%-28s %18d %18d\n", "Min #reviews per item", ds.MinReviewsPerItem, ps.MinReviewsPerItem)
+	fmt.Printf("%-28s %18d %18d\n", "Max #reviews per item", ds.MaxReviewsPerItem, ps.MaxReviewsPerItem)
+	fmt.Printf("%-28s %18.2f %18.2f\n", "Average #sentences per review", ds.AvgSentencesPerRev, ps.AvgSentencesPerRev)
+	fmt.Printf("\n(paper: 1000/60 items, 68686/33578 reviews, 43-354 / 102-3200 per item, 4.87/3.81 sentences)\n")
+	return nil
+}
+
+// fig3 prints the cell-phone aspect hierarchy as an indented tree.
+func fig3() error {
+	ont := dataset.CellPhoneOntology()
+	var walk func(c ontology.ConceptID, depth int)
+	walk = func(c ontology.ConceptID, depth int) {
+		syn := ""
+		if s := ont.Synonyms(c); len(s) > 0 {
+			syn = " (" + strings.Join(s, ", ") + ")"
+		}
+		fmt.Printf("%s%s%s\n", strings.Repeat("  ", depth), ont.Name(c), syn)
+		children := append([]ontology.ConceptID(nil), ont.Children(c)...)
+		sort.Slice(children, func(i, j int) bool { return ont.Name(children[i]) < ont.Name(children[j]) })
+		for _, ch := range children {
+			walk(ch, depth+1)
+		}
+	}
+	walk(ont.Root(), 0)
+	fmt.Printf("\n%d aspects, depth %d\n", ont.Len()-1, ont.MaxDepth())
+	return nil
+}
+
+// prepareItems generates and annotates n items of the given domain.
+func prepareItems(domain dataset.Domain, seed int64, n, reviewsCap int, eps float64) ([]*model.Item, model.Metric, error) {
+	var cfg dataset.CorpusConfig
+	if domain == dataset.DomainDoctor {
+		cfg = dataset.DoctorConfig(seed)
+		cfg.NumItems = n
+		cfg.TotalReviews = n * 70
+		cfg.MinReviews = 43
+		cfg.MaxReviews = 150
+	} else {
+		cfg = dataset.CellPhoneConfig(seed)
+		cfg.NumItems = n
+		cfg.TotalReviews = n * 70
+		cfg.MinReviews = 40
+		cfg.MaxReviews = 150
+	}
+	corpus := dataset.Generate(cfg)
+	pipe := extract.NewPipeline(extract.NewMatcher(corpus.Ont), sentiment.Lexicon{})
+	items := make([]*model.Item, 0, len(corpus.Items))
+	for _, it := range corpus.Items {
+		reviews := it.Reviews
+		if len(reviews) > reviewsCap {
+			reviews = reviews[:reviewsCap]
+		}
+		var raws []extract.RawReview
+		for _, r := range reviews {
+			raws = append(raws, extract.RawReview{ID: r.ID, Text: r.Text, Rating: r.Rating})
+		}
+		items = append(items, pipe.AnnotateItem(it.ID, it.Name, raws))
+	}
+	return items, model.Metric{Ont: corpus.Ont, Epsilon: eps}, nil
+}
+
+// figs45 reproduces the Figs 4-5 sweep and prints both views.
+func figs45(seed int64, n, reviewsCap int, ks []int, eps float64) error {
+	items, metric, err := prepareItems(dataset.DomainDoctor, seed, n, reviewsCap, eps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d doctor items, ε=%.2f\n", len(items), eps)
+	rows, err := eval.RunQuantitative(items, metric, eval.QuantConfig{Ks: ks, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	cell := map[string]eval.QuantRow{}
+	for _, r := range rows {
+		cell[fmt.Sprintf("%v/%v/%d", r.Granularity, r.Algorithm, r.K)] = r
+	}
+	grans := []model.Granularity{model.GranularityPairs, model.GranularitySentences, model.GranularityReviews}
+
+	fmt.Println("\n--- Fig 4: average time per item ---")
+	for _, g := range grans {
+		fmt.Printf("\ntop %s:\n%-4s %14s %14s %14s %10s\n", g, "k", "ILP", "RR", "Greedy", "ILP/Greedy")
+		for _, k := range ks {
+			ilp := cell[fmt.Sprintf("%v/ILP/%d", g, k)]
+			rr := cell[fmt.Sprintf("%v/RR/%d", g, k)]
+			gr := cell[fmt.Sprintf("%v/Greedy/%d", g, k)]
+			speedup := float64(ilp.AvgTime) / float64(gr.AvgTime)
+			fmt.Printf("%-4d %14s %14s %14s %9.0fx\n", k, ilp.AvgTime.Round(time.Microsecond),
+				rr.AvgTime.Round(time.Microsecond), gr.AvgTime.Round(time.Microsecond), speedup)
+		}
+	}
+
+	fmt.Println("\n--- Fig 5: average cost per item ---")
+	for _, g := range grans {
+		fmt.Printf("\ntop %s:\n%-4s %12s %12s %12s %10s %10s\n", g, "k", "ILP", "RR", "Greedy", "RR gap", "Greedy gap")
+		for _, k := range ks {
+			ilp := cell[fmt.Sprintf("%v/ILP/%d", g, k)]
+			rr := cell[fmt.Sprintf("%v/RR/%d", g, k)]
+			gr := cell[fmt.Sprintf("%v/Greedy/%d", g, k)]
+			gapRR, gapGr := 0.0, 0.0
+			if ilp.AvgCost > 0 {
+				gapRR = 100 * (rr.AvgCost - ilp.AvgCost) / ilp.AvgCost
+				gapGr = 100 * (gr.AvgCost - ilp.AvgCost) / ilp.AvgCost
+			}
+			fmt.Printf("%-4d %12.1f %12.1f %12.1f %9.2f%% %9.2f%%\n", k, ilp.AvgCost, rr.AvgCost, gr.AvgCost, gapRR, gapGr)
+		}
+	}
+
+	// Paper-shape summary.
+	fmt.Println("\n--- shape checks (paper: greedy ≤8% above optimal cost, fastest everywhere) ---")
+	for _, g := range grans {
+		maxGap, maxSpeed := 0.0, 0.0
+		for _, k := range ks {
+			ilp := cell[fmt.Sprintf("%v/ILP/%d", g, k)]
+			gr := cell[fmt.Sprintf("%v/Greedy/%d", g, k)]
+			if ilp.AvgCost > 0 {
+				if gap := 100 * (gr.AvgCost - ilp.AvgCost) / ilp.AvgCost; gap > maxGap {
+					maxGap = gap
+				}
+			}
+			if s := float64(ilp.AvgTime) / float64(gr.AvgTime); s > maxSpeed {
+				maxSpeed = s
+			}
+		}
+		fmt.Printf("top %-9s: max greedy cost gap %.2f%%, max ILP/greedy speedup %.0fx\n", g, maxGap, maxSpeed)
+	}
+	return nil
+}
+
+// fig6 reproduces the qualitative comparison.
+func fig6(seed int64, n, reviewsCap int, ks []int, eps float64) error {
+	items, metric, err := prepareItems(dataset.DomainPhone, seed, n, reviewsCap, eps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d cell phone items, ε=%.2f\n", len(items), eps)
+	rows := eval.RunQualitative(items, metric, ks, nil)
+	methods := []string{}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Method] {
+			seen[r.Method] = true
+			methods = append(methods, r.Method)
+		}
+	}
+	get := func(m string, k int) eval.QualRow {
+		for _, r := range rows {
+			if r.Method == m && r.K == k {
+				return r
+			}
+		}
+		return eval.QualRow{}
+	}
+	for _, penal := range []bool{false, true} {
+		label := "Fig 6(a): sent-err"
+		if penal {
+			label = "Fig 6(b): sent-err-penalized"
+		}
+		fmt.Printf("\n--- %s (lower is better) ---\n%-4s", label, "k")
+		for _, m := range methods {
+			fmt.Printf(" %14s", m)
+		}
+		fmt.Println()
+		for _, k := range ks {
+			fmt.Printf("%-4d", k)
+			for _, m := range methods {
+				r := get(m, k)
+				v := r.SentErr
+				if penal {
+					v = r.SentErrPenalized
+				}
+				fmt.Printf(" %14.4f", v)
+			}
+			fmt.Println()
+		}
+	}
+	// Shape summary: our average improvement over each baseline.
+	fmt.Println("\n--- shape checks (paper: ours lowest everywhere; beats 'most popular' by ~4%/15%) ---")
+	ours := methods[0]
+	for _, m := range methods[1:] {
+		var imp, impPen float64
+		for _, k := range ks {
+			a, b := get(ours, k), get(m, k)
+			if b.SentErr > 0 {
+				imp += 100 * (b.SentErr - a.SentErr) / b.SentErr
+			}
+			if b.SentErrPenalized > 0 {
+				impPen += 100 * (b.SentErrPenalized - a.SentErrPenalized) / b.SentErrPenalized
+			}
+		}
+		fmt.Printf("vs %-14s: avg sent-err reduction %6.2f%%, penalized %6.2f%%\n",
+			m, imp/float64(len(ks)), impPen/float64(len(ks)))
+	}
+
+	// Paired-bootstrap significance at the middle k of the sweep.
+	midK := ks[len(ks)/2]
+	selectors := append([]baselines.Selector{eval.GreedySelector{Metric: metric}}, baselines.All()...)
+	perItem := eval.PerItemSentErr(items, metric, midK, selectors, false)
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Printf("\n--- paired bootstrap, H1: ours < baseline (k=%d, %d items) ---\n", midK, len(items))
+	oursScores := perItem[selectors[0].Name()]
+	for _, sel := range selectors[1:] {
+		p := eval.PairedBootstrapPValue(oursScores, perItem[sel.Name()], 10000, rng)
+		verdict := "significant at 0.05"
+		if p >= 0.05 {
+			verdict = "not significant"
+		}
+		fmt.Printf("vs %-14s: p = %.4f (%s)\n", sel.Name(), p, verdict)
+	}
+	return nil
+}
+
+// elbow reproduces the §5.3 ε-selection procedure.
+func elbow(seed int64, n, reviewsCap int) error {
+	items, metric, err := prepareItems(dataset.DomainDoctor, seed, n, reviewsCap, 0.5)
+	if err != nil {
+		return err
+	}
+	grid := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	avg := make([]float64, len(grid))
+	for _, item := range items {
+		rates := eval.EpsilonSweep(metric, item.Pairs(), 10, grid)
+		for i, r := range rates {
+			avg[i] += r
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(items))
+	}
+	idx := eval.Elbow(grid, avg)
+	fmt.Printf("%-6s %s\n", "ε", "covered-pair rate (k=10 greedy summary)")
+	for i, e := range grid {
+		marker := ""
+		if i == idx {
+			marker = "   ← elbow"
+		}
+		fmt.Printf("%-6.1f %.4f%s\n", e, avg[i], marker)
+	}
+	fmt.Printf("\nselected ε = %.1f (paper selects 0.5)\n", grid[idx])
+	return nil
+}

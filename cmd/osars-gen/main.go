@@ -1,0 +1,56 @@
+// Command osars-gen generates a synthetic review corpus (the stand-in
+// for the paper's vitals.com / Amazon crawls, §5.1) and writes it to
+// disk as an ontology JSON plus a JSONL item file:
+//
+//	osars-gen -domain doctor -scale small -out ./data
+//	osars-gen -domain phone  -scale full  -seed 7 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"osars/internal/dataset"
+)
+
+func main() {
+	var (
+		domain = flag.String("domain", "phone", "corpus domain: doctor|phone")
+		scale  = flag.String("scale", "small", "corpus scale: small|full (full matches Table 1)")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		outDir = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	var cfg dataset.CorpusConfig
+	switch *domain + "/" + *scale {
+	case "doctor/small":
+		cfg = dataset.SmallDoctorConfig(*seed)
+	case "doctor/full":
+		cfg = dataset.DoctorConfig(*seed)
+	case "phone/small":
+		cfg = dataset.SmallCellPhoneConfig(*seed)
+	case "phone/full":
+		cfg = dataset.CellPhoneConfig(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -domain %q / -scale %q\n", *domain, *scale)
+		os.Exit(2)
+	}
+
+	corpus := dataset.Generate(cfg)
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ontPath := filepath.Join(*outDir, *domain+"-ontology.json")
+	itemsPath := filepath.Join(*outDir, *domain+"-items.jsonl")
+	if err := dataset.SaveCorpus(corpus, ontPath, itemsPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stats := dataset.ComputeStats(corpus)
+	fmt.Println(stats.Table1Row(*domain + " (" + *scale + ")"))
+	fmt.Printf("ontology: %s (%v)\nitems:    %s\n", ontPath, corpus.Ont, itemsPath)
+}

@@ -1,0 +1,71 @@
+// Command osars-serve runs the summarization HTTP service:
+//
+//	osars-serve -addr :8080 -domain phone
+//	osars-serve -addr :8080 -ontology data/phone-ontology.json
+//
+// Then:
+//
+//	curl -s localhost:8080/v1/summarize -d '{
+//	  "item_id": "p1", "k": 3,
+//	  "reviews": [{"id":"r1","text":"The screen is excellent. The battery is awful."}]
+//	}'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"osars"
+	"osars/internal/dataset"
+	"osars/internal/ontology"
+	"osars/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		domain  = flag.String("domain", "phone", "built-in ontology when -ontology is not given: phone|doctor")
+		ontPath = flag.String("ontology", "", "path to an ontology JSON file (overrides -domain)")
+		eps     = flag.Float64("eps", 0.5, "sentiment threshold ε")
+	)
+	flag.Parse()
+
+	var ont *ontology.Ontology
+	switch {
+	case *ontPath != "":
+		data, err := os.ReadFile(*ontPath)
+		if err != nil {
+			log.Fatalf("osars-serve: %v", err)
+		}
+		ont = new(ontology.Ontology)
+		if err := json.Unmarshal(data, ont); err != nil {
+			log.Fatalf("osars-serve: parse ontology: %v", err)
+		}
+	case *domain == "phone":
+		ont = dataset.CellPhoneOntology()
+	case *domain == "doctor":
+		ont = dataset.MedicalOntology(dataset.MedicalOntologyConfig{Seed: 1})
+	default:
+		log.Fatalf("osars-serve: unknown -domain %q", *domain)
+	}
+
+	sum, err := osars.New(osars.Config{Ontology: ont, Epsilon: *eps})
+	if err != nil {
+		log.Fatalf("osars-serve: %v", err)
+	}
+	h := server.New(sum)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("osars-serve: listening on %s with %v (ε=%.2f)\n", *addr, ont, *eps)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("osars-serve: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+// Command osars-summarize produces an ontology- and sentiment-aware
+// summary of one item's reviews from a corpus on disk (as written by
+// osars-gen, or hand-authored in the same format):
+//
+//	osars-summarize -ontology data/phone-ontology.json \
+//	    -items data/phone-items.jsonl -item item-0003 \
+//	    -k 5 -granularity sentences -method greedy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"osars"
+	"osars/internal/dataset"
+)
+
+func main() {
+	var (
+		ontPath   = flag.String("ontology", "", "ontology JSON path (required)")
+		itemsPath = flag.String("items", "", "items JSONL path (required)")
+		itemID    = flag.String("item", "", "item ID to summarize (default: first item)")
+		k         = flag.Int("k", 5, "summary size")
+		gran      = flag.String("granularity", "sentences", "pairs|sentences|reviews")
+		method    = flag.String("method", "greedy", "greedy|rr|ilp|local-search")
+		eps       = flag.Float64("eps", 0.5, "sentiment threshold ε")
+	)
+	flag.Parse()
+	if *ontPath == "" || *itemsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	corpus, err := dataset.LoadCorpus(*ontPath, *itemsPath)
+	if err != nil {
+		fatal(err)
+	}
+	var raw *dataset.RawItem
+	for i := range corpus.Items {
+		if *itemID == "" || corpus.Items[i].ID == *itemID {
+			raw = &corpus.Items[i]
+			break
+		}
+	}
+	if raw == nil {
+		fatal(fmt.Errorf("item %q not found among %d items", *itemID, len(corpus.Items)))
+	}
+
+	g, err := osars.ParseGranularity(*gran)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := osars.ParseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+
+	s, err := osars.New(osars.Config{Ontology: corpus.Ont, Epsilon: *eps})
+	if err != nil {
+		fatal(err)
+	}
+	var reviews []osars.Review
+	for _, r := range raw.Reviews {
+		reviews = append(reviews, osars.Review{ID: r.ID, Text: r.Text, Rating: r.Rating})
+	}
+	item := s.AnnotateItem(raw.ID, raw.Name, reviews)
+	sum, err := s.Summarize(item, *k, g, m)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s (%s): %d reviews, %d sentences, %d concept-sentiment pairs\n",
+		raw.Name, raw.ID, len(item.Reviews), item.NumSentences(), len(item.Pairs()))
+	fmt.Printf("summary: k=%d, granularity=%s, method=%s, ε=%.2f, coverage cost %.0f\n\n",
+		*k, g, m, *eps, sum.Cost)
+	switch g {
+	case osars.Pairs:
+		for i, p := range sum.Pairs {
+			fmt.Printf("%2d. %s\n", i+1, s.DescribePair(p))
+		}
+	case osars.Sentences:
+		for i, line := range sum.Sentences {
+			fmt.Printf("%2d. %s\n", i+1, line)
+		}
+	case osars.Reviews:
+		byID := map[string]string{}
+		for _, r := range raw.Reviews {
+			byID[r.ID] = r.Text
+		}
+		for i, id := range sum.ReviewIDs {
+			fmt.Printf("%2d. [%s] %s\n", i+1, id, byID[id])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "osars-summarize:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+package osars
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd builds and runs one of the repo's commands via `go run`.
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run %v: %v\nstderr: %s", args, err, errBuf.String())
+	}
+	return out.String()
+}
+
+// TestEndToEndCLIs drives the gen → summarize pipeline exactly as the
+// README shows, through the real binaries.
+func TestEndToEndCLIs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI end-to-end in -short mode")
+	}
+	dir := t.TempDir()
+
+	genOut := runCmd(t, "./cmd/osars-gen", "-domain", "phone", "-scale", "small", "-seed", "9", "-out", dir)
+	if !strings.Contains(genOut, "reviews=400") {
+		t.Fatalf("gen output unexpected:\n%s", genOut)
+	}
+
+	ontPath := filepath.Join(dir, "phone-ontology.json")
+	itemsPath := filepath.Join(dir, "phone-items.jsonl")
+	sumOut := runCmd(t, "./cmd/osars-summarize",
+		"-ontology", ontPath, "-items", itemsPath,
+		"-k", "3", "-granularity", "sentences", "-method", "greedy")
+	if !strings.Contains(sumOut, "coverage cost") || !strings.Contains(sumOut, " 3.") {
+		t.Fatalf("summarize output unexpected:\n%s", sumOut)
+	}
+	// Count the numbered summary lines.
+	lines := 0
+	for _, line := range strings.Split(sumOut, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "1.") || strings.HasPrefix(trimmed, "2.") || strings.HasPrefix(trimmed, "3.") {
+			lines++
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("expected 3 summary sentences, got %d:\n%s", lines, sumOut)
+	}
+
+	pairsOut := runCmd(t, "./cmd/osars-summarize",
+		"-ontology", ontPath, "-items", itemsPath,
+		"-k", "2", "-granularity", "pairs", "-method", "local-search")
+	if !strings.Contains(pairsOut, "=") {
+		t.Fatalf("pairs output unexpected:\n%s", pairsOut)
+	}
+}
+
+// TestEndToEndExperimentsSmoke runs one tiny experiment through the
+// experiments binary.
+func TestEndToEndExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI end-to-end in -short mode")
+	}
+	out := runCmd(t, "./cmd/osars-experiments", "-exp", "table1", "-full-table1=false")
+	if !strings.Contains(out, "#Reviews") {
+		t.Fatalf("experiments output unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,94 @@
+package osars_test
+
+import (
+	"fmt"
+	"log"
+
+	"osars"
+	"osars/internal/ontology"
+)
+
+// buildOntology constructs the tiny hierarchy the examples share.
+func buildOntology() *osars.Ontology {
+	var b ontology.Builder
+	phone := b.AddConcept("phone")
+	screen := b.Child(phone, "screen", "display")
+	b.Child(screen, "screen resolution", "resolution")
+	b.Child(phone, "battery")
+	b.Child(phone, "price", "cost")
+	ont, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ont
+}
+
+func reviews() []osars.Review {
+	return []osars.Review{
+		{ID: "r1", Text: "The screen is excellent. The battery is awful."},
+		{ID: "r2", Text: "Amazing resolution! The battery is terrible."},
+		{ID: "r3", Text: "The display is wonderful and the price is decent."},
+	}
+}
+
+// ExampleNew shows minimal configuration: only the ontology is
+// required; ε defaults to 0.5 and sentiment to the lexicon scorer.
+func ExampleNew() {
+	s, err := osars.New(osars.Config{Ontology: buildOntology()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s.Metric().Epsilon)
+	// Output: 0.5
+}
+
+// ExampleSummarizer_Summarize selects the most representative
+// sentences of an item.
+func ExampleSummarizer_Summarize() {
+	s, err := osars.New(osars.Config{Ontology: buildOntology()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	item := s.AnnotateItem("p1", "Acme Phone", reviews())
+	sum, err := s.Summarize(item, 2, osars.Sentences, osars.MethodGreedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range sum.Sentences {
+		fmt.Println(line)
+	}
+	// Output:
+	// The display is wonderful and the price is decent.
+	// The battery is awful.
+}
+
+// ExampleSummarizer_Summarize_pairs selects concept-sentiment pairs —
+// the most compact summary granularity (§2), suited to small screens.
+func ExampleSummarizer_Summarize_pairs() {
+	s, err := osars.New(osars.Config{Ontology: buildOntology()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	item := s.AnnotateItem("p1", "Acme Phone", reviews())
+	sum, err := s.Summarize(item, 2, osars.Pairs, osars.MethodILP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range sum.Pairs {
+		fmt.Println(s.DescribePair(p))
+	}
+	// Output:
+	// screen = +1.00
+	// battery = -1.00
+}
+
+// ExampleSummarizer_AnnotateItem shows the extraction pipeline output.
+func ExampleSummarizer_AnnotateItem() {
+	s, err := osars.New(osars.Config{Ontology: buildOntology()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	item := s.AnnotateItem("p1", "Acme Phone", reviews())
+	fmt.Println(len(item.Reviews), "reviews,", item.NumSentences(), "sentences,", len(item.Pairs()), "pairs")
+	// Output: 3 reviews, 5 sentences, 6 pairs
+}

@@ -1,0 +1,78 @@
+// Cell phones: the paper's qualitative scenario (§5.3). Generates an
+// Amazon-style phone corpus over the Fig 3 aspect hierarchy and pits
+// the greedy summarizer against the five baselines on the sent-err
+// measures. Run with:
+//
+//	go run ./examples/cellphones
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"osars/internal/baselines"
+	"osars/internal/dataset"
+	"osars/internal/eval"
+	"osars/internal/extract"
+	"osars/internal/model"
+	"osars/internal/sentiment"
+)
+
+func main() {
+	corpus := dataset.Generate(dataset.SmallCellPhoneConfig(7))
+	fmt.Println(dataset.ComputeStats(corpus).Table1Row("cell phone corpus"))
+	fmt.Printf("Fig 3 hierarchy: %v\n\n", corpus.Ont)
+
+	metric := model.Metric{Ont: corpus.Ont, Epsilon: 0.5}
+	pipe := extract.NewPipeline(extract.NewMatcher(corpus.Ont), sentiment.Lexicon{})
+
+	// Annotate a few phones.
+	var items []*model.Item
+	for _, raw := range corpus.Items[:4] {
+		reviews := raw.Reviews
+		if len(reviews) > 40 {
+			reviews = reviews[:40]
+		}
+		var raws []extract.RawReview
+		for _, r := range reviews {
+			raws = append(raws, extract.RawReview{ID: r.ID, Text: r.Text, Rating: r.Rating})
+		}
+		items = append(items, pipe.AnnotateItem(raw.ID, raw.Name, raws))
+	}
+
+	// One phone in detail: the k=4 summaries of every method.
+	item := items[0]
+	fmt.Printf("=== %s: %d sentences, %d pairs ===\n", item.Name, item.NumSentences(), len(item.Pairs()))
+	selectors := append([]baselines.Selector{eval.GreedySelector{Metric: metric}}, baselines.All()...)
+	texts := sentenceTexts(item)
+	for _, sel := range selectors {
+		chosen := sel.SelectSentences(item, 4)
+		F := eval.SummaryPairs(item, chosen)
+		errPlain := eval.SentErr(corpus.Ont, F, item.Pairs(), false)
+		fmt.Printf("\n[%s] sent-err %.4f\n", sel.Name(), errPlain)
+		for i, si := range chosen {
+			fmt.Printf("  %d. %s\n", i+1, texts[si])
+		}
+	}
+
+	// Aggregate comparison across items and k (Fig 6 in miniature).
+	fmt.Println("\n=== average sent-err across items (lower is better) ===")
+	rows := eval.RunQualitative(items, metric, []int{2, 4, 6}, selectors)
+	if len(rows) == 0 {
+		log.Fatal("no rows")
+	}
+	fmt.Printf("%-16s %8s %12s %12s\n", "method", "k", "sent-err", "penalized")
+	for _, r := range rows {
+		fmt.Printf("%-16s %8d %12.4f %12.4f\n", r.Method, r.K, r.SentErr, r.SentErrPenalized)
+	}
+}
+
+func sentenceTexts(item *model.Item) []string {
+	var out []string
+	for ri := range item.Reviews {
+		for si := range item.Reviews[ri].Sentences {
+			out = append(out, item.Reviews[ri].Sentences[si].Text)
+		}
+	}
+	return out
+}

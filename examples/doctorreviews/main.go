@@ -1,0 +1,78 @@
+// Doctor reviews: the paper's primary scenario (§5.1-5.2). Generates a
+// synthetic vitals.com-style corpus over a SNOMED-CT-like hierarchy,
+// then summarizes one doctor at all three granularities with all three
+// algorithms, comparing cost and time. Run with:
+//
+//	go run ./examples/doctorreviews
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"osars"
+	"osars/internal/dataset"
+)
+
+func main() {
+	// Generate a small doctor corpus (use dataset.DoctorConfig for the
+	// full 68,686-review Table 1 corpus).
+	corpus := dataset.Generate(dataset.SmallDoctorConfig(42))
+	fmt.Println(dataset.ComputeStats(corpus).Table1Row("doctor corpus"))
+	fmt.Printf("ontology: %v\n\n", corpus.Ont)
+
+	s, err := osars.New(osars.Config{Ontology: corpus.Ont, Epsilon: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the most-reviewed doctor.
+	best := 0
+	for i := range corpus.Items {
+		if len(corpus.Items[i].Reviews) > len(corpus.Items[best].Reviews) {
+			best = i
+		}
+	}
+	raw := corpus.Items[best]
+	var reviews []osars.Review
+	for _, r := range raw.Reviews {
+		reviews = append(reviews, osars.Review{ID: r.ID, Text: r.Text, Rating: r.Rating})
+	}
+	item := s.AnnotateItem(raw.ID, raw.Name, reviews)
+	fmt.Printf("summarizing %s: %d reviews, %d sentences, %d pairs\n\n",
+		raw.Name, len(item.Reviews), item.NumSentences(), len(item.Pairs()))
+
+	const k = 5
+	for _, g := range []osars.Granularity{osars.Pairs, osars.Sentences, osars.Reviews} {
+		fmt.Printf("--- top %d %s ---\n", k, g)
+		for _, m := range []osars.Method{osars.MethodILP, osars.MethodRR, osars.MethodGreedy} {
+			start := time.Now()
+			sum, err := s.Summarize(item, k, g, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-20s cost %8.0f   in %10s\n", m, sum.Cost, time.Since(start).Round(time.Microsecond))
+		}
+		// Show the greedy summary's content.
+		sum, err := s.Summarize(item, k, g, osars.MethodGreedy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch g {
+		case osars.Pairs:
+			for i, p := range sum.Pairs {
+				fmt.Printf("  %d. %s\n", i+1, s.DescribePair(p))
+			}
+		case osars.Sentences:
+			for i, line := range sum.Sentences {
+				fmt.Printf("  %d. %s\n", i+1, line)
+			}
+		case osars.Reviews:
+			for i, id := range sum.ReviewIDs {
+				fmt.Printf("  %d. review %s\n", i+1, id)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,89 @@
+// Local services: restaurant reviews (the domain of the
+// Blair-Goldensohn "proportional" baseline), showing three extensions
+// working together: the restaurant aspect hierarchy, automatic
+// hierarchy induction from extracted aspects (what the paper did by
+// hand for Fig 3), and the local-search method. Run with:
+//
+//	go run ./examples/localservices
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"osars"
+	"osars/internal/dataset"
+	"osars/internal/extract"
+	"osars/internal/text"
+)
+
+func main() {
+	corpus := dataset.Generate(dataset.SmallRestaurantConfig(21))
+	fmt.Println(dataset.ComputeStats(corpus).Table1Row("restaurant corpus"))
+
+	// Pick the busiest venue.
+	best := 0
+	for i := range corpus.Items {
+		if len(corpus.Items[i].Reviews) > len(corpus.Items[best].Reviews) {
+			best = i
+		}
+	}
+	raw := corpus.Items[best]
+	var reviews []osars.Review
+	for _, r := range raw.Reviews {
+		reviews = append(reviews, osars.Review{ID: r.ID, Text: r.Text, Rating: r.Rating})
+	}
+
+	// 1. Summarize with the curated restaurant hierarchy.
+	curated, err := osars.New(osars.Config{Ontology: corpus.Ont})
+	if err != nil {
+		log.Fatal(err)
+	}
+	item := curated.AnnotateItem(raw.ID, raw.Name, reviews)
+	fmt.Printf("\n=== %s with the curated hierarchy (%v) ===\n", raw.Name, corpus.Ont)
+	sum, err := curated.Summarize(item, 4, osars.Sentences, osars.MethodLocalSearch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local-search summary (cost %.0f):\n", sum.Cost)
+	for i, line := range sum.Sentences {
+		fmt.Printf("  %d. %s\n", i+1, line)
+	}
+
+	// 2. Pretend no hierarchy exists: extract aspects with double
+	// propagation and induce one automatically.
+	var sentences [][]string
+	for _, r := range raw.Reviews {
+		for _, s := range text.SplitSentences(r.Text) {
+			sentences = append(sentences, text.Tokenize(s))
+		}
+	}
+	aspects := extract.DoublePropagation(sentences, extract.DPOptions{MinSupport: 3, MaxAspects: 100})
+	induced, err := extract.InduceHierarchy("restaurant", aspects)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== same venue with an automatically induced hierarchy (%v) ===\n", induced)
+	fmt.Printf("top extracted aspects: ")
+	for i, a := range aspects {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("%s(%d) ", a.Term, a.Freq)
+	}
+	fmt.Println()
+
+	auto, err := osars.New(osars.Config{Ontology: induced})
+	if err != nil {
+		log.Fatal(err)
+	}
+	item2 := auto.AnnotateItem(raw.ID, raw.Name, reviews)
+	sum2, err := auto.Summarize(item2, 4, osars.Pairs, osars.MethodGreedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greedy pair summary over the induced hierarchy (cost %.0f):\n", sum2.Cost)
+	for i, p := range sum2.Pairs {
+		fmt.Printf("  %d. %s\n", i+1, auto.DescribePair(p))
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: summarize a handful of phone reviews with the public
+// API in ~30 lines. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"osars"
+	"osars/internal/ontology"
+)
+
+func main() {
+	// 1. A domain concept hierarchy. Here a tiny hand-built one; use
+	// dataset.CellPhoneOntology() for the paper's Fig 3 hierarchy.
+	var b ontology.Builder
+	phone := b.AddConcept("phone")
+	screen := b.Child(phone, "screen", "display")
+	b.Child(screen, "screen resolution", "resolution")
+	b.Child(phone, "battery")
+	b.Child(phone, "price", "cost")
+	ont, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A summarizer with default settings (ε = 0.5, lexicon
+	// sentiment).
+	s, err := osars.New(osars.Config{Ontology: ont})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Annotate raw reviews: sentence split → concept match →
+	// sentiment estimate.
+	item := s.AnnotateItem("p1", "Acme Phone", []osars.Review{
+		{ID: "r1", Text: "The screen is excellent. The battery is awful."},
+		{ID: "r2", Text: "Amazing resolution! But the battery is terrible."},
+		{ID: "r3", Text: "The display is wonderful and the price is decent."},
+		{ID: "r4", Text: "Battery died after a day, very disappointing."},
+		{ID: "r5", Text: "The cost was fair. Screen looks great."},
+	})
+	fmt.Printf("extracted %d concept-sentiment pairs from %d sentences\n\n",
+		len(item.Pairs()), item.NumSentences())
+
+	// 4. Select the 2 most representative sentences.
+	sum, err := s.Summarize(item, 2, osars.Sentences, osars.MethodGreedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best %d sentences (coverage cost %.0f):\n", len(sum.Sentences), sum.Cost)
+	for i, line := range sum.Sentences {
+		fmt.Printf("  %d. %s\n", i+1, line)
+	}
+
+	// 5. Or the 3 most representative concept-sentiment pairs.
+	pairs, err := s.Summarize(item, 3, osars.Pairs, osars.MethodGreedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbest 3 concept-sentiment pairs:")
+	for i, p := range pairs.Pairs {
+		fmt.Printf("  %d. %s\n", i+1, s.DescribePair(p))
+	}
+}

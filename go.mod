@@ -1,0 +1,3 @@
+module osars
+
+go 1.22

@@ -1,0 +1,405 @@
+// Package baselines implements the five unsupervised summarizers the
+// paper compares against (§5.3, Table 2):
+//
+//   - MostPopular — Hu & Liu (2004), adapted to pick one representative
+//     sentence for each of the k most frequent aspect-polarity pairs;
+//   - Proportional — Blair-Goldensohn et al. (2008): aspect-polarity
+//     pairs chosen proportionally to frequency, each represented by its
+//     most extremely polarized sentence;
+//   - TextRank — Mihalcea & Tarau (2004): PageRank over a word-overlap
+//     sentence graph;
+//   - LexRank — Erkan & Radev (2004): PageRank over a thresholded
+//     TF-IDF-cosine sentence graph;
+//   - LSA — Steinberger & Ježek (2004): sentence salience from the SVD
+//     of the term-sentence matrix.
+//
+// Every baseline implements Selector: given an item, pick k sentences
+// (indices into the item's global sentence order, the same order
+// coverage.SentenceGroups uses).
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"osars/internal/linalg"
+	"osars/internal/model"
+	"osars/internal/ontology"
+	"osars/internal/text"
+)
+
+// Selector picks k summary sentences from an item.
+type Selector interface {
+	// Name identifies the method in experiment output.
+	Name() string
+	// SelectSentences returns up to k distinct sentence indices.
+	SelectSentences(item *model.Item, k int) []int
+}
+
+// Ranker is an optional fast path for selectors whose k-sentence
+// summary is a prefix of one fixed ranking (TextRank, LexRank, LSA).
+// Sweeps over k compute the ranking once and slice prefixes.
+type Ranker interface {
+	// RankSentences orders all sentence indices best-first.
+	RankSentences(item *model.Item) []int
+}
+
+// flatSentences returns the item's sentences in global order.
+func flatSentences(item *model.Item) []*model.Sentence {
+	var out []*model.Sentence
+	for ri := range item.Reviews {
+		for si := range item.Reviews[ri].Sentences {
+			out = append(out, &item.Reviews[ri].Sentences[si])
+		}
+	}
+	return out
+}
+
+// aspectKey is a (concept, polarity) pair; polarity is +1 / -1
+// (neutral sentiment counts as positive, matching Hu & Liu's binary
+// classification).
+type aspectKey struct {
+	concept  ontology.ConceptID
+	positive bool
+}
+
+func keyOf(p model.Pair) aspectKey {
+	return aspectKey{concept: p.Concept, positive: p.Sentiment >= 0}
+}
+
+// MostPopular is the Hu & Liu adaptation described in §5.3: count
+// (concept, polarity) occurrences over sentences, select the k most
+// popular pairs and return one containing sentence for each.
+type MostPopular struct{}
+
+// Name implements Selector.
+func (MostPopular) Name() string { return "most popular" }
+
+// SelectSentences implements Selector.
+func (MostPopular) SelectSentences(item *model.Item, k int) []int {
+	sentences := flatSentences(item)
+	counts := map[aspectKey]int{}
+	holders := map[aspectKey][]int{}
+	for si, s := range sentences {
+		seen := map[aspectKey]bool{}
+		for _, p := range s.Pairs {
+			key := keyOf(p)
+			if !seen[key] {
+				seen[key] = true
+				counts[key]++
+				holders[key] = append(holders[key], si)
+			}
+		}
+	}
+	ranked := rankKeys(counts)
+	used := make(map[int]bool)
+	var out []int
+	for _, key := range ranked {
+		if len(out) == k {
+			break
+		}
+		for _, si := range holders[key] {
+			if !used[si] {
+				used[si] = true
+				out = append(out, si)
+				break
+			}
+		}
+	}
+	return fill(out, used, len(sentences), k)
+}
+
+// Proportional is the Blair-Goldensohn et al. adaptation described in
+// §5.3: allocate the k slots across (concept, polarity) pairs
+// proportionally to their frequency (largest-remainder rounding), then
+// represent each slot with the yet-unused sentence whose sentiment is
+// most extreme for that pair.
+type Proportional struct{}
+
+// Name implements Selector.
+func (Proportional) Name() string { return "proportional" }
+
+// SelectSentences implements Selector.
+func (Proportional) SelectSentences(item *model.Item, k int) []int {
+	sentences := flatSentences(item)
+	counts := map[aspectKey]int{}
+	type holder struct {
+		si      int
+		extreme float64
+	}
+	holders := map[aspectKey][]holder{}
+	for si, s := range sentences {
+		best := map[aspectKey]float64{}
+		for _, p := range s.Pairs {
+			key := keyOf(p)
+			if math.Abs(p.Sentiment) >= math.Abs(best[key]) {
+				best[key] = p.Sentiment
+			}
+		}
+		for key, v := range best {
+			counts[key]++
+			holders[key] = append(holders[key], holder{si: si, extreme: math.Abs(v)})
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return fill(nil, map[int]bool{}, len(sentences), k)
+	}
+	// Largest-remainder apportionment of k slots.
+	ranked := rankKeys(counts)
+	type quota struct {
+		key   aspectKey
+		base  int
+		fract float64
+	}
+	quotas := make([]quota, len(ranked))
+	assigned := 0
+	for i, key := range ranked {
+		exact := float64(k) * float64(counts[key]) / float64(total)
+		quotas[i] = quota{key: key, base: int(exact), fract: exact - math.Floor(exact)}
+		assigned += quotas[i].base
+	}
+	sort.SliceStable(quotas, func(i, j int) bool { return quotas[i].fract > quotas[j].fract })
+	for i := 0; assigned < k && i < len(quotas); i++ {
+		quotas[i].base++
+		assigned++
+	}
+	// Most-extreme unused sentence per slot.
+	for _, key := range ranked {
+		hs := holders[key]
+		sort.SliceStable(hs, func(i, j int) bool { return hs[i].extreme > hs[j].extreme })
+		holders[key] = hs
+	}
+	used := map[int]bool{}
+	var out []int
+	for _, q := range quotas {
+		for slot := 0; slot < q.base; slot++ {
+			for _, h := range holders[q.key] {
+				if !used[h.si] {
+					used[h.si] = true
+					out = append(out, h.si)
+					break
+				}
+			}
+			if len(out) == k {
+				return out
+			}
+		}
+	}
+	return fill(out, used, len(sentences), k)
+}
+
+// rankKeys orders aspect keys by descending count with deterministic
+// ties (concept id, then positive-first).
+func rankKeys(counts map[aspectKey]int) []aspectKey {
+	keys := make([]aspectKey, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if counts[a] != counts[b] {
+			return counts[a] > counts[b]
+		}
+		if a.concept != b.concept {
+			return a.concept < b.concept
+		}
+		return a.positive && !b.positive
+	})
+	return keys
+}
+
+// fill pads a selection with the earliest unused sentences when a
+// method ran out of candidates before reaching k.
+func fill(out []int, used map[int]bool, n, k int) []int {
+	for si := 0; si < n && len(out) < k; si++ {
+		if !used[si] {
+			used[si] = true
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// rankByScore orders all indices by descending score, deterministic on
+// ties (lower index first).
+func rankByScore(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return scores[idx[i]] > scores[idx[j]] })
+	return idx
+}
+
+// prefix returns the first k ranked indices in ascending index order
+// (matching the original document order, as extractive summarizers
+// present them).
+func prefix(ranking []int, k int) []int {
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	out := append([]int(nil), ranking[:k]...)
+	sort.Ints(out)
+	return out
+}
+
+// TextRank ranks sentences by PageRank over the word-overlap
+// similarity graph of Mihalcea & Tarau (2004).
+type TextRank struct {
+	// Damping for PageRank (default 0.85 when zero).
+	Damping float64
+}
+
+// Name implements Selector.
+func (TextRank) Name() string { return "TextRank" }
+
+// SelectSentences implements Selector.
+func (t TextRank) SelectSentences(item *model.Item, k int) []int {
+	return prefix(t.RankSentences(item), k)
+}
+
+// RankSentences implements Ranker.
+func (t TextRank) RankSentences(item *model.Item) []int {
+	d := t.Damping
+	if d == 0 {
+		d = 0.85
+	}
+	sentences := flatSentences(item)
+	n := len(sentences)
+	toks := make([][]string, n)
+	for i, s := range sentences {
+		toks[i] = text.Tokenize(s.Text)
+	}
+	w := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sim := text.WordOverlap(toks[i], toks[j], true, true)
+			if sim > 0 {
+				w.Set(i, j, sim)
+				w.Set(j, i, sim)
+			}
+		}
+	}
+	scores := linalg.PageRank(w, d, 1e-9, 200)
+	return rankByScore(scores)
+}
+
+// LexRank ranks sentences by PageRank over the binary
+// cosine-similarity graph of Erkan & Radev (2004).
+type LexRank struct {
+	// Threshold for connecting two sentences (default 0.1 when zero).
+	Threshold float64
+	// Damping for PageRank (default 0.85 when zero).
+	Damping float64
+}
+
+// Name implements Selector.
+func (LexRank) Name() string { return "LexRank" }
+
+// SelectSentences implements Selector.
+func (l LexRank) SelectSentences(item *model.Item, k int) []int {
+	return prefix(l.RankSentences(item), k)
+}
+
+// RankSentences implements Ranker.
+func (l LexRank) RankSentences(item *model.Item) []int {
+	th := l.Threshold
+	if th == 0 {
+		th = 0.1
+	}
+	d := l.Damping
+	if d == 0 {
+		d = 0.85
+	}
+	sentences := flatSentences(item)
+	n := len(sentences)
+	toks := make([][]string, n)
+	for i, s := range sentences {
+		toks[i] = text.Tokenize(s.Text)
+	}
+	vec := text.NewVectorizer(toks, text.VectorizerOptions{Stem: true, DropStopwords: true})
+	vecs := make([]text.SparseVec, n)
+	for i := range toks {
+		vecs[i] = vec.Transform(toks[i])
+	}
+	w := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if text.CosineSimilarity(vecs[i], vecs[j]) >= th {
+				w.Set(i, j, 1)
+				w.Set(j, i, 1)
+			}
+		}
+	}
+	scores := linalg.PageRank(w, d, 1e-9, 200)
+	return rankByScore(scores)
+}
+
+// LSA ranks sentences by the Steinberger & Ježek (2004) salience: the
+// length of each sentence's row of V·Σ restricted to the strongest r
+// latent topics of the term-sentence matrix's SVD.
+type LSA struct {
+	// Topics caps the latent dimensions used (default 3).
+	Topics int
+}
+
+// Name implements Selector.
+func (LSA) Name() string { return "LSA" }
+
+// SelectSentences implements Selector.
+func (l LSA) SelectSentences(item *model.Item, k int) []int {
+	return prefix(l.RankSentences(item), k)
+}
+
+// RankSentences implements Ranker.
+func (l LSA) RankSentences(item *model.Item) []int {
+	sentences := flatSentences(item)
+	n := len(sentences)
+	if n == 0 {
+		return nil
+	}
+	toks := make([][]string, n)
+	for i, s := range sentences {
+		toks[i] = text.Tokenize(s.Text)
+	}
+	vec := text.NewVectorizer(toks, text.VectorizerOptions{Stem: true, DropStopwords: true})
+	terms := vec.VocabSize()
+	if terms == 0 {
+		return rankByScore(make([]float64, n))
+	}
+	// Term-sentence matrix A: terms × sentences.
+	a := linalg.NewMatrix(terms, n)
+	for j := range toks {
+		sv := vec.Transform(toks[j])
+		for t, idx := range sv.Idx {
+			a.Set(int(idx), j, sv.Val[t])
+		}
+	}
+	res := linalg.SVD(a)
+	r := l.Topics
+	if r <= 0 {
+		r = 3
+	}
+	if r > len(res.S) {
+		r = len(res.S)
+	}
+	scores := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for t := 0; t < r; t++ {
+			v := res.V.At(j, t) * res.S[t]
+			s += v * v
+		}
+		scores[j] = math.Sqrt(s)
+	}
+	return rankByScore(scores)
+}
+
+// All returns the five baselines in the paper's Table 2 order.
+func All() []Selector {
+	return []Selector{MostPopular{}, Proportional{}, TextRank{}, LexRank{}, LSA{}}
+}

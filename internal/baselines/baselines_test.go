@@ -1,0 +1,217 @@
+package baselines
+
+import (
+	"testing"
+
+	"osars/internal/dataset"
+	"osars/internal/extract"
+	"osars/internal/model"
+	"osars/internal/ontology"
+	"osars/internal/sentiment"
+)
+
+// testItem builds an item with known sentences/pairs.
+func testItem(t *testing.T) (*model.Item, map[string]ontology.ConceptID) {
+	t.Helper()
+	var b ontology.Builder
+	ids := map[string]ontology.ConceptID{}
+	ids["phone"] = b.AddConcept("phone")
+	ids["screen"] = b.Child(ids["phone"], "screen")
+	ids["battery"] = b.Child(ids["phone"], "battery")
+	ids["camera"] = b.Child(ids["phone"], "camera")
+	o, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = o
+	mk := func(txt string, pairs ...model.Pair) model.Sentence {
+		return model.Sentence{Text: txt, Pairs: pairs}
+	}
+	item := &model.Item{
+		ID: "p",
+		Reviews: []model.Review{
+			{Sentences: []model.Sentence{
+				mk("The screen is great", model.Pair{Concept: ids["screen"], Sentiment: 0.75}),  // 0
+				mk("The screen is amazing", model.Pair{Concept: ids["screen"], Sentiment: 1}),   // 1
+				mk("The battery is bad", model.Pair{Concept: ids["battery"], Sentiment: -0.75}), // 2
+			}},
+			{Sentences: []model.Sentence{
+				mk("Screen looks nice", model.Pair{Concept: ids["screen"], Sentiment: 0.5}),  // 3
+				mk("The camera is awful", model.Pair{Concept: ids["camera"], Sentiment: -1}), // 4
+				mk("I bought it last week"), // 5
+				mk("The screen is okay", model.Pair{Concept: ids["screen"], Sentiment: 0.25}), // 6
+			}},
+		},
+	}
+	return item, ids
+}
+
+func TestMostPopularPicksFrequentAspects(t *testing.T) {
+	item, _ := testItem(t)
+	sel := MostPopular{}.SelectSentences(item, 2)
+	if len(sel) != 2 {
+		t.Fatalf("selected %v", sel)
+	}
+	// (screen, +) occurs in 4 sentences — must be represented first, by
+	// its first holder (sentence 0).
+	if sel[0] != 0 {
+		t.Fatalf("first pick = %d, want 0 (most popular aspect's first sentence)", sel[0])
+	}
+}
+
+func TestMostPopularNoDuplicates(t *testing.T) {
+	item, _ := testItem(t)
+	sel := MostPopular{}.SelectSentences(item, 7)
+	if len(sel) != 7 {
+		t.Fatalf("selected %d, want all 7", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, si := range sel {
+		if seen[si] {
+			t.Fatalf("duplicate %d in %v", si, sel)
+		}
+		seen[si] = true
+	}
+}
+
+func TestProportionalPrefersExtremeSentences(t *testing.T) {
+	item, _ := testItem(t)
+	sel := Proportional{}.SelectSentences(item, 2)
+	if len(sel) != 2 {
+		t.Fatalf("selected %v", sel)
+	}
+	// (screen,+) has 4 of 6 mentions → gets ≥1 slot; its most extreme
+	// sentence is index 1 (sentiment 1.0).
+	found := false
+	for _, si := range sel {
+		if si == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("selection %v missing the most extreme screen sentence (1)", sel)
+	}
+}
+
+func TestProportionalFillsWhenNoPairs(t *testing.T) {
+	item := &model.Item{Reviews: []model.Review{{Sentences: []model.Sentence{
+		{Text: "a"}, {Text: "b"}, {Text: "c"},
+	}}}}
+	sel := Proportional{}.SelectSentences(item, 2)
+	if len(sel) != 2 || sel[0] != 0 || sel[1] != 1 {
+		t.Fatalf("fill failed: %v", sel)
+	}
+}
+
+func TestGraphBaselinesRankAndBound(t *testing.T) {
+	item, _ := testItem(t)
+	for _, s := range []Selector{TextRank{}, LexRank{}, LSA{}} {
+		sel := s.SelectSentences(item, 3)
+		if len(sel) != 3 {
+			t.Fatalf("%s selected %v", s.Name(), sel)
+		}
+		seen := map[int]bool{}
+		for _, si := range sel {
+			if si < 0 || si >= 7 || seen[si] {
+				t.Fatalf("%s bad selection %v", s.Name(), sel)
+			}
+			seen[si] = true
+		}
+	}
+}
+
+func TestTextRankPrefersCentralSentence(t *testing.T) {
+	// Sentences 0-3 all mention "screen quality"; sentence 4 is an
+	// outlier. The top pick must not be the outlier.
+	item := &model.Item{Reviews: []model.Review{{Sentences: []model.Sentence{
+		{Text: "the screen quality is great"},
+		{Text: "great screen quality overall"},
+		{Text: "screen quality could be better"},
+		{Text: "amazing screen quality here"},
+		{Text: "delivery van arrived late yesterday"},
+	}}}}
+	sel := TextRank{}.SelectSentences(item, 1)
+	if len(sel) != 1 || sel[0] == 4 {
+		t.Fatalf("TextRank picked the outlier: %v", sel)
+	}
+}
+
+func TestLSATopicsParameter(t *testing.T) {
+	item, _ := testItem(t)
+	a := LSA{Topics: 1}.SelectSentences(item, 2)
+	b := LSA{Topics: 3}.SelectSentences(item, 2)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("LSA selections: %v, %v", a, b)
+	}
+}
+
+func TestSelectorsOnEmptyItem(t *testing.T) {
+	empty := &model.Item{}
+	for _, s := range All() {
+		if sel := s.SelectSentences(empty, 3); len(sel) != 0 {
+			t.Fatalf("%s selected %v from empty item", s.Name(), sel)
+		}
+	}
+}
+
+func TestAllNamesDistinct(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range All() {
+		if names[s.Name()] {
+			t.Fatalf("duplicate name %q", s.Name())
+		}
+		names[s.Name()] = true
+	}
+	if len(names) != 5 {
+		t.Fatalf("want 5 baselines, got %d", len(names))
+	}
+}
+
+func TestBaselinesOnGeneratedItem(t *testing.T) {
+	// End-to-end smoke: run every baseline on a generated phone item.
+	c := dataset.Generate(dataset.SmallCellPhoneConfig(5))
+	p := extract.NewPipeline(extract.NewMatcher(c.Ont), sentiment.Lexicon{})
+	var raws []extract.RawReview
+	for _, r := range c.Items[0].Reviews[:20] {
+		raws = append(raws, extract.RawReview{ID: r.ID, Text: r.Text, Rating: r.Rating})
+	}
+	item := p.AnnotateItem(c.Items[0].ID, c.Items[0].Name, raws)
+	n := item.NumSentences()
+	for _, s := range All() {
+		sel := s.SelectSentences(item, 5)
+		if len(sel) != 5 {
+			t.Fatalf("%s selected %d sentences", s.Name(), len(sel))
+		}
+		for _, si := range sel {
+			if si < 0 || si >= n {
+				t.Fatalf("%s selected out-of-range %d", s.Name(), si)
+			}
+		}
+	}
+}
+
+func TestRankerPrefixMatchesSelect(t *testing.T) {
+	item, _ := testItem(t)
+	for _, s := range []Selector{TextRank{}, LexRank{}, LSA{}} {
+		ranker, ok := s.(Ranker)
+		if !ok {
+			t.Fatalf("%s does not implement Ranker", s.Name())
+		}
+		ranking := ranker.RankSentences(item)
+		if len(ranking) != 7 {
+			t.Fatalf("%s ranking covers %d of 7 sentences", s.Name(), len(ranking))
+		}
+		for k := 0; k <= 7; k++ {
+			want := prefix(ranking, k)
+			got := s.SelectSentences(item, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s k=%d: select %v vs prefix %v", s.Name(), k, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s k=%d: select %v vs prefix %v", s.Name(), k, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Package coverage implements the initialization phase shared by all
+// three summarization algorithms (paper §4.1), producing the
+// edge-weighted bipartite coverage graph G = (U, W, E).
+//
+// W is always the multiset P of concept-sentiment pairs to be covered.
+// U is the candidate set: the pairs themselves for k-Pairs Coverage, or
+// the sentences / whole reviews for k-Reviews/Sentences Coverage
+// (§4.5). An edge (u, w) with weight d means candidate u covers pair w
+// at Definition-1 distance d.
+//
+// The graph is built exactly as the paper describes: a first pass
+// buckets candidate pairs by concept; a second pass walks, for each
+// target pair, the ancestors of its concept in the DAG and probes the
+// buckets. (The paper walks ancestors by DFS; we use BFS, which visits
+// the same ancestor set but yields shortest up-distances directly —
+// DFS would need explicit minimum tracking on multi-parent DAGs.)
+// Because the average number of ancestors per concept is small,
+// construction is near-linear in |P|.
+package coverage
+
+import (
+	"fmt"
+	"sort"
+
+	"osars/internal/model"
+	"osars/internal/ontology"
+)
+
+// Graph is the immutable coverage graph. Adjacency is stored in
+// compressed sparse rows in both directions:
+//
+//   - forward:  candidate u → (pair w, distance)
+//   - backward: pair w → (candidate u, distance)
+//
+// plus the per-pair root fallback distance (the depth of the pair's
+// concept), so C(F, P) is computable from the graph alone.
+type Graph struct {
+	Metric model.Metric
+	// Pairs is W: the multiset of pairs to cover, in input order.
+	Pairs []model.Pair
+	// RootDist[w] is d(r, Pairs[w].Concept): the cost of leaving pair
+	// w to the implicit root.
+	RootDist []int32
+	// Weight[w] is the multiplicity of pair w. Plain builders set every
+	// weight to 1; BuildPairsQuantized merges duplicate pairs and
+	// records how many originals each unique pair stands for. All cost
+	// computations multiply by it.
+	Weight []int32
+	// NumCandidates is |U|.
+	NumCandidates int
+
+	fwdIdx  []int32 // len NumCandidates+1
+	fwdPair []int32
+	fwdDist []int32
+
+	bwdIdx  []int32 // len len(Pairs)+1
+	bwdCand []int32
+	bwdDist []int32
+}
+
+// Edge is one coverage relation reported by the iteration methods.
+type Edge struct {
+	Candidate int
+	Pair      int
+	Dist      int
+}
+
+// NumEdges reports |E|.
+func (g *Graph) NumEdges() int { return len(g.fwdPair) }
+
+// Covered calls fn for every pair covered by candidate u, with the
+// Definition-1 distance. Iteration stops early if fn returns false.
+func (g *Graph) Covered(u int, fn func(w int, dist int) bool) {
+	for i := g.fwdIdx[u]; i < g.fwdIdx[u+1]; i++ {
+		if !fn(int(g.fwdPair[i]), int(g.fwdDist[i])) {
+			return
+		}
+	}
+}
+
+// Coverers calls fn for every candidate covering pair w, with the
+// Definition-1 distance. Iteration stops early if fn returns false.
+func (g *Graph) Coverers(w int, fn func(u int, dist int) bool) {
+	for i := g.bwdIdx[w]; i < g.bwdIdx[w+1]; i++ {
+		if !fn(int(g.bwdCand[i]), int(g.bwdDist[i])) {
+			return
+		}
+	}
+}
+
+// Degree returns the number of pairs candidate u covers.
+func (g *Graph) Degree(u int) int { return int(g.fwdIdx[u+1] - g.fwdIdx[u]) }
+
+// CostOf evaluates C(F, P) for a set of selected candidates using only
+// the precomputed graph: each pair is charged the minimum distance over
+// selected coverers, with the root as fallback.
+func (g *Graph) CostOf(selected []int) float64 {
+	chosen := make([]bool, g.NumCandidates)
+	for _, u := range selected {
+		chosen[u] = true
+	}
+	total := 0
+	for w := range g.Pairs {
+		best := int(g.RootDist[w])
+		g.Coverers(w, func(u, dist int) bool {
+			if chosen[u] && dist < best {
+				best = dist
+			}
+			return true
+		})
+		total += best * int(g.Weight[w])
+	}
+	return float64(total)
+}
+
+// EmptyCost returns C(∅, P) = Σ_w Weight[w]·RootDist[w], the cost of
+// the empty summary where the root covers everything.
+func (g *Graph) EmptyCost() float64 {
+	total := 0
+	for w, d := range g.RootDist {
+		total += int(d) * int(g.Weight[w])
+	}
+	return float64(total)
+}
+
+// String describes the graph size.
+func (g *Graph) String() string {
+	return fmt.Sprintf("CoverageGraph(|U|=%d, |W|=%d, |E|=%d)", g.NumCandidates, len(g.Pairs), g.NumEdges())
+}
+
+// bucketEntry is one candidate-pair occurrence filed under its concept
+// during the first pass.
+type bucketEntry struct {
+	cand      int32
+	sentiment float64
+}
+
+// builder accumulates edges grouped by target pair before the CSR
+// conversion.
+type builder struct {
+	metric  model.Metric
+	pairs   []model.Pair
+	weight  []int32 // nil → all ones
+	numCand int
+	// per-target edge lists
+	edgeCand [][]int32
+	edgeDist [][]int32
+}
+
+// BuildPairs constructs the coverage graph for k-Pairs Coverage:
+// U = W = P, and candidate i is the pair P[i] itself.
+func BuildPairs(m model.Metric, pairs []model.Pair) *Graph {
+	groups := make([][]model.Pair, len(pairs))
+	for i := range pairs {
+		groups[i] = pairs[i : i+1]
+	}
+	return build(m, groups, pairs)
+}
+
+// BuildGroups constructs the coverage graph for k-Reviews/Sentences
+// Coverage (§4.5): candidate u is the pair-set groups[u] (one sentence
+// or one whole review), and W is the given pair multiset (normally the
+// concatenation of all groups). The edge weight from a group to a pair
+// is the minimum Definition-1 distance over the group's pairs.
+func BuildGroups(m model.Metric, groups [][]model.Pair, pairs []model.Pair) *Graph {
+	return build(m, groups, pairs)
+}
+
+// SentenceGroups flattens an item into per-sentence pair groups plus
+// the full pair multiset P, ready for BuildGroups. Sentences with no
+// extracted pairs are still included (they can be selected but cover
+// nothing), preserving candidate indices aligned with sentence order.
+func SentenceGroups(item *model.Item) (groups [][]model.Pair, pairs []model.Pair) {
+	for ri := range item.Reviews {
+		for si := range item.Reviews[ri].Sentences {
+			s := &item.Reviews[ri].Sentences[si]
+			groups = append(groups, s.Pairs)
+			pairs = append(pairs, s.Pairs...)
+		}
+	}
+	return groups, pairs
+}
+
+// ReviewGroups flattens an item into per-review pair groups plus the
+// full pair multiset P, ready for BuildGroups.
+func ReviewGroups(item *model.Item) (groups [][]model.Pair, pairs []model.Pair) {
+	for ri := range item.Reviews {
+		g := item.Reviews[ri].Pairs()
+		groups = append(groups, g)
+		pairs = append(pairs, g...)
+	}
+	return groups, pairs
+}
+
+// Build constructs the coverage graph for an item at the requested
+// granularity.
+func Build(m model.Metric, item *model.Item, g model.Granularity) *Graph {
+	switch g {
+	case model.GranularityPairs:
+		return BuildPairs(m, item.Pairs())
+	case model.GranularitySentences:
+		groups, pairs := SentenceGroups(item)
+		return BuildGroups(m, groups, pairs)
+	case model.GranularityReviews:
+		groups, pairs := ReviewGroups(item)
+		return BuildGroups(m, groups, pairs)
+	default:
+		panic(fmt.Sprintf("coverage: unknown granularity %v", g))
+	}
+}
+
+func build(m model.Metric, groups [][]model.Pair, pairs []model.Pair) *Graph {
+	b := builder{
+		metric:   m,
+		pairs:    pairs,
+		numCand:  len(groups),
+		edgeCand: make([][]int32, len(pairs)),
+		edgeDist: make([][]int32, len(pairs)),
+	}
+	fillEdges(&b, groups)
+	return b.finish()
+}
+
+// fillEdges runs the two §4.1 passes, populating the per-target edge
+// lists of the builder.
+func fillEdges(b *builder, groups [][]model.Pair) {
+	m := b.metric
+	pairs := b.pairs
+
+	// First pass (§4.1): bucket candidate pair occurrences by concept.
+	buckets := make(map[ontology.ConceptID][]bucketEntry)
+	for u, g := range groups {
+		for _, p := range g {
+			buckets[p.Concept] = append(buckets[p.Concept], bucketEntry{int32(u), p.Sentiment})
+		}
+	}
+
+	// Second pass: for each target pair, walk ancestors of its concept
+	// and probe buckets. BFS order gives non-decreasing distances, so
+	// the first qualifying occurrence of a candidate yields its
+	// minimum edge weight; a stamp array deduplicates candidates.
+	root := m.Ont.Root()
+	walker := ontology.NewAncestorWalker(m.Ont)
+	stamp := make([]int32, len(groups))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for w, target := range pairs {
+		w32 := int32(w)
+		walker.Walk(target.Concept, func(anc ontology.ConceptID, dist int) bool {
+			isRoot := anc == root
+			for _, e := range buckets[anc] {
+				if stamp[e.cand] == w32 {
+					continue
+				}
+				if !isRoot {
+					diff := e.sentiment - target.Sentiment
+					if diff < 0 {
+						diff = -diff
+					}
+					if diff > m.Epsilon {
+						continue
+					}
+				}
+				stamp[e.cand] = w32
+				b.edgeCand[w] = append(b.edgeCand[w], e.cand)
+				b.edgeDist[w] = append(b.edgeDist[w], int32(dist))
+			}
+			return true
+		})
+	}
+}
+
+// finish converts the per-target edge lists into the dual CSR layout.
+func (b *builder) finish() *Graph {
+	g := &Graph{
+		Metric:        b.metric,
+		Pairs:         b.pairs,
+		RootDist:      make([]int32, len(b.pairs)),
+		Weight:        b.weight,
+		NumCandidates: b.numCand,
+	}
+	if g.Weight == nil {
+		g.Weight = make([]int32, len(b.pairs))
+		for w := range g.Weight {
+			g.Weight[w] = 1
+		}
+	}
+	for w, p := range b.pairs {
+		g.RootDist[w] = int32(b.metric.Ont.Depth(p.Concept))
+	}
+
+	total := 0
+	for w := range b.edgeCand {
+		total += len(b.edgeCand[w])
+	}
+
+	// Backward CSR: straight copy of the per-target lists.
+	g.bwdIdx = make([]int32, len(b.pairs)+1)
+	g.bwdCand = make([]int32, 0, total)
+	g.bwdDist = make([]int32, 0, total)
+	for w := range b.edgeCand {
+		g.bwdIdx[w] = int32(len(g.bwdCand))
+		g.bwdCand = append(g.bwdCand, b.edgeCand[w]...)
+		g.bwdDist = append(g.bwdDist, b.edgeDist[w]...)
+	}
+	g.bwdIdx[len(b.pairs)] = int32(len(g.bwdCand))
+
+	// Forward CSR: counting sort of the same edges by candidate.
+	counts := make([]int32, b.numCand+1)
+	for w := range b.edgeCand {
+		for _, u := range b.edgeCand[w] {
+			counts[u+1]++
+		}
+	}
+	for u := 1; u <= b.numCand; u++ {
+		counts[u] += counts[u-1]
+	}
+	g.fwdIdx = counts
+	g.fwdPair = make([]int32, total)
+	g.fwdDist = make([]int32, total)
+	next := make([]int32, b.numCand)
+	for w := range b.edgeCand {
+		for i, u := range b.edgeCand[w] {
+			pos := g.fwdIdx[u] + next[u]
+			next[u]++
+			g.fwdPair[pos] = int32(w)
+			g.fwdDist[pos] = b.edgeDist[w][i]
+		}
+	}
+	return g
+}
+
+// BuildPairsNaive is the ablation reference for the initialization
+// phase: it computes all |P|² Definition-1 distances directly instead
+// of using the bucket + ancestor-walk passes. Used only by tests and
+// the ablation benchmark (DESIGN.md ablation 2).
+func BuildPairsNaive(m model.Metric, pairs []model.Pair) *Graph {
+	b := builder{
+		metric:   m,
+		pairs:    pairs,
+		numCand:  len(pairs),
+		edgeCand: make([][]int32, len(pairs)),
+		edgeDist: make([][]int32, len(pairs)),
+	}
+	for w, target := range pairs {
+		type edge struct{ cand, dist int32 }
+		var edges []edge
+		for u, cand := range pairs {
+			if d := m.PairDistance(cand, target); d < model.Infinite {
+				edges = append(edges, edge{int32(u), int32(d)})
+			}
+		}
+		// Match the walker's non-decreasing-distance edge order so the
+		// two builders produce comparable graphs.
+		sort.SliceStable(edges, func(i, j int) bool { return edges[i].dist < edges[j].dist })
+		for _, e := range edges {
+			b.edgeCand[w] = append(b.edgeCand[w], e.cand)
+			b.edgeDist[w] = append(b.edgeDist[w], e.dist)
+		}
+	}
+	return b.finish()
+}

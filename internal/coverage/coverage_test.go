@@ -1,0 +1,328 @@
+package coverage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osars/internal/model"
+	"osars/internal/ontology"
+)
+
+// phoneOntology builds a small hierarchy:
+//
+//	phone ── screen ── resolution
+//	   │  └─ battery
+//	   └─ price
+func phoneOntology(t testing.TB) (*ontology.Ontology, map[string]ontology.ConceptID) {
+	t.Helper()
+	var b ontology.Builder
+	ids := map[string]ontology.ConceptID{}
+	ids["phone"] = b.AddConcept("phone")
+	ids["screen"] = b.Child(ids["phone"], "screen")
+	ids["resolution"] = b.Child(ids["screen"], "resolution")
+	ids["battery"] = b.Child(ids["phone"], "battery")
+	ids["price"] = b.Child(ids["phone"], "price")
+	o, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, ids
+}
+
+func TestBuildPairsEdges(t *testing.T) {
+	o, ids := phoneOntology(t)
+	m := model.Metric{Ont: o, Epsilon: 0.5}
+	P := []model.Pair{
+		{Concept: ids["screen"], Sentiment: 0.8},     // 0
+		{Concept: ids["resolution"], Sentiment: 0.6}, // 1: covered by 0 at dist 1
+		{Concept: ids["resolution"], Sentiment: -.9}, // 2: NOT covered by 0 (sentiment)
+		{Concept: ids["battery"], Sentiment: 0.7},    // 3: sibling of screen
+	}
+	g := BuildPairs(m, P)
+	if g.NumCandidates != 4 || len(g.Pairs) != 4 {
+		t.Fatalf("graph size wrong: %v", g)
+	}
+	type key struct{ u, w int }
+	got := map[key]int{}
+	for u := 0; u < g.NumCandidates; u++ {
+		g.Covered(u, func(w, dist int) bool {
+			got[key{u, w}] = dist
+			return true
+		})
+	}
+	want := map[key]int{
+		{0, 0}: 0, {0, 1}: 1, // screen covers itself and resolution(0.6)
+		{1, 1}: 0,
+		{2, 2}: 0,
+		{3, 3}: 0,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("edges = %v, want %v", got, want)
+	}
+	for k, d := range want {
+		if got[k] != d {
+			t.Errorf("edge %v dist = %d, want %d", k, got[k], d)
+		}
+	}
+	// Root distances are concept depths.
+	wantRoot := []int32{1, 2, 2, 1}
+	for w, d := range wantRoot {
+		if g.RootDist[w] != d {
+			t.Errorf("RootDist[%d] = %d, want %d", w, g.RootDist[w], d)
+		}
+	}
+}
+
+func TestRootConceptPairCoversEverything(t *testing.T) {
+	o, ids := phoneOntology(t)
+	m := model.Metric{Ont: o, Epsilon: 0.5}
+	P := []model.Pair{
+		{Concept: ids["phone"], Sentiment: -1},      // root concept, extreme sentiment
+		{Concept: ids["resolution"], Sentiment: +1}, // far sentiment: still covered by root pair
+		{Concept: ids["battery"], Sentiment: 0},
+	}
+	g := BuildPairs(m, P)
+	covered := map[int]int{}
+	g.Covered(0, func(w, dist int) bool { covered[w] = dist; return true })
+	if covered[1] != 2 || covered[2] != 1 || covered[0] != 0 {
+		t.Fatalf("root-concept pair coverage = %v, want {0:0 1:2 2:1}", covered)
+	}
+}
+
+func TestCostOfMatchesMetricCost(t *testing.T) {
+	o, ids := phoneOntology(t)
+	m := model.Metric{Ont: o, Epsilon: 0.5}
+	P := []model.Pair{
+		{Concept: ids["screen"], Sentiment: 0.8},
+		{Concept: ids["resolution"], Sentiment: 0.6},
+		{Concept: ids["resolution"], Sentiment: -0.9},
+		{Concept: ids["battery"], Sentiment: 0.7},
+		{Concept: ids["price"], Sentiment: -0.2},
+	}
+	g := BuildPairs(m, P)
+	for _, sel := range [][]int{{}, {0}, {0, 3}, {1, 2, 4}, {0, 1, 2, 3, 4}} {
+		F := make([]model.Pair, len(sel))
+		for i, u := range sel {
+			F[i] = P[u]
+		}
+		if got, want := g.CostOf(sel), m.Cost(F, P); got != want {
+			t.Errorf("CostOf(%v) = %v, metric cost %v", sel, got, want)
+		}
+	}
+	if got, want := g.EmptyCost(), m.Cost(nil, P); got != want {
+		t.Errorf("EmptyCost = %v, want %v", got, want)
+	}
+}
+
+func TestBuildGroupsMinDistance(t *testing.T) {
+	o, ids := phoneOntology(t)
+	m := model.Metric{Ont: o, Epsilon: 0.5}
+	// One sentence with both a screen and a resolution pair: its edge
+	// to the resolution pair must take the min distance (0, from the
+	// resolution pair itself) not 1 (from the screen pair).
+	groups := [][]model.Pair{
+		{{Concept: ids["screen"], Sentiment: 0.8}, {Concept: ids["resolution"], Sentiment: 0.6}},
+		{{Concept: ids["battery"], Sentiment: -0.5}},
+	}
+	var P []model.Pair
+	for _, g := range groups {
+		P = append(P, g...)
+	}
+	g := BuildGroups(m, groups, P)
+	if g.NumCandidates != 2 {
+		t.Fatalf("NumCandidates = %d, want 2", g.NumCandidates)
+	}
+	dist := map[int]int{}
+	g.Covered(0, func(w, d int) bool { dist[w] = d; return true })
+	if dist[0] != 0 || dist[1] != 0 {
+		t.Fatalf("group 0 coverage = %v, want both at 0", dist)
+	}
+	// Selecting group 0 leaves only the battery pair to the root.
+	if got := g.CostOf([]int{0}); got != 1 {
+		t.Fatalf("CostOf([0]) = %v, want 1", got)
+	}
+}
+
+func TestSentenceAndReviewGroups(t *testing.T) {
+	o, ids := phoneOntology(t)
+	item := &model.Item{
+		Reviews: []model.Review{
+			{Sentences: []model.Sentence{
+				{Pairs: []model.Pair{{Concept: ids["screen"], Sentiment: 0.5}}},
+				{Pairs: []model.Pair{{Concept: ids["battery"], Sentiment: -0.5}, {Concept: ids["price"], Sentiment: 0}}},
+			}},
+			{Sentences: []model.Sentence{
+				{Pairs: nil}, // pairless sentence still a candidate
+			}},
+		},
+	}
+	sg, sp := SentenceGroups(item)
+	if len(sg) != 3 || len(sp) != 3 {
+		t.Fatalf("SentenceGroups = %d groups, %d pairs; want 3, 3", len(sg), len(sp))
+	}
+	rg, rp := ReviewGroups(item)
+	if len(rg) != 2 || len(rp) != 3 {
+		t.Fatalf("ReviewGroups = %d groups, %d pairs; want 2, 3", len(rg), len(rp))
+	}
+	m := model.Metric{Ont: o, Epsilon: 0.5}
+	for _, gran := range []model.Granularity{model.GranularityPairs, model.GranularitySentences, model.GranularityReviews} {
+		g := Build(m, item, gran)
+		if g == nil || len(g.Pairs) != 3 {
+			t.Fatalf("Build(%v) pairs = %d, want 3", gran, len(g.Pairs))
+		}
+	}
+}
+
+func TestCoverersIsTransposeOfCovered(t *testing.T) {
+	o, ids := phoneOntology(t)
+	m := model.Metric{Ont: o, Epsilon: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	var P []model.Pair
+	all := []ontology.ConceptID{ids["phone"], ids["screen"], ids["resolution"], ids["battery"], ids["price"]}
+	for i := 0; i < 50; i++ {
+		P = append(P, model.Pair{Concept: all[rng.Intn(len(all))], Sentiment: math.Round(rng.Float64()*20-10) / 10})
+	}
+	g := BuildPairs(m, P)
+	type key struct{ u, w int }
+	fwd := map[key]int{}
+	for u := 0; u < g.NumCandidates; u++ {
+		g.Covered(u, func(w, d int) bool { fwd[key{u, w}] = d; return true })
+	}
+	bwd := map[key]int{}
+	for w := range g.Pairs {
+		g.Coverers(w, func(u, d int) bool { bwd[key{u, w}] = d; return true })
+	}
+	if len(fwd) != len(bwd) || len(fwd) != g.NumEdges() {
+		t.Fatalf("edge counts differ: fwd %d bwd %d NumEdges %d", len(fwd), len(bwd), g.NumEdges())
+	}
+	for k, d := range fwd {
+		if bwd[k] != d {
+			t.Fatalf("edge %v: fwd %d bwd %d", k, d, bwd[k])
+		}
+	}
+}
+
+// randomPairsInstance builds a random DAG and pair multiset for
+// property tests.
+func randomPairsInstance(rng *rand.Rand) (model.Metric, []model.Pair) {
+	var b ontology.Builder
+	n := 2 + rng.Intn(25)
+	ids := make([]ontology.ConceptID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddConcept("c" + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+		if i > 0 {
+			b.AddEdge(ids[rng.Intn(i)], ids[i])
+			if i >= 2 && rng.Intn(4) == 0 {
+				b.AddEdge(ids[rng.Intn(i)], ids[i])
+			}
+		}
+	}
+	o, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	P := make([]model.Pair, 1+rng.Intn(40))
+	for i := range P {
+		P[i] = model.Pair{Concept: ids[rng.Intn(n)], Sentiment: math.Round(rng.Float64()*20-10) / 10}
+	}
+	return model.Metric{Ont: o, Epsilon: 0.5}, P
+}
+
+// Property: the bucket+walk builder produces exactly the same edge set
+// (with the same minimum weights) as the naive all-pairs builder.
+func TestQuickBuildMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, P := randomPairsInstance(rng)
+		fast := BuildPairs(m, P)
+		naive := BuildPairsNaive(m, P)
+		if fast.NumEdges() != naive.NumEdges() {
+			t.Logf("edge count %d vs %d", fast.NumEdges(), naive.NumEdges())
+			return false
+		}
+		type key struct{ u, w int }
+		collect := func(g *Graph) map[key]int {
+			out := map[key]int{}
+			for u := 0; u < g.NumCandidates; u++ {
+				g.Covered(u, func(w, d int) bool { out[key{u, w}] = d; return true })
+			}
+			return out
+		}
+		a, b := collect(fast), collect(naive)
+		for k, d := range a {
+			if b[k] != d {
+				t.Logf("edge %v: fast %d naive %d", k, d, b[k])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CostOf on random selections agrees with the reference
+// Metric.Cost.
+func TestQuickCostOfMatchesMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, P := randomPairsInstance(rng)
+		g := BuildPairs(m, P)
+		for trial := 0; trial < 5; trial++ {
+			var sel []int
+			var F []model.Pair
+			for u := range P {
+				if rng.Intn(3) == 0 {
+					sel = append(sel, u)
+					F = append(F, P[u])
+				}
+			}
+			if g.CostOf(sel) != m.Cost(F, P) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: group cost via graph equals the reference GroupCost.
+func TestQuickGroupCostMatchesMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, P := randomPairsInstance(rng)
+		// Partition P into random contiguous groups.
+		var groups [][]model.Pair
+		for i := 0; i < len(P); {
+			j := i + 1 + rng.Intn(3)
+			if j > len(P) {
+				j = len(P)
+			}
+			groups = append(groups, P[i:j])
+			i = j
+		}
+		g := BuildGroups(m, groups, P)
+		for trial := 0; trial < 5; trial++ {
+			var sel []int
+			var chosen [][]model.Pair
+			for u := range groups {
+				if rng.Intn(3) == 0 {
+					sel = append(sel, u)
+					chosen = append(chosen, groups[u])
+				}
+			}
+			if g.CostOf(sel) != m.GroupCost(chosen, P) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package dataset provides the synthetic substitutes for the paper's
+// two proprietary corpora (§5.1, Table 1): vitals.com doctor reviews
+// with the SNOMED CT ontology, and Amazon cell-phone reviews with the
+// manually built aspect hierarchy of Fig 3. Generators are
+// deterministic given a seed and reproduce the corpus statistics the
+// paper reports (review counts per item, sentences per review,
+// skewed aspect popularity, mixed graded sentiment).
+package dataset
+
+import (
+	"fmt"
+
+	"osars/internal/ontology"
+)
+
+// CellPhoneOntology reconstructs the manually built cell-phone aspect
+// hierarchy of Fig 3: a root "phone" with major aspect groups and the
+// ~100 most popular extracted aspects nested beneath them. Synonyms
+// are the surface forms the review generator and the concept matcher
+// share.
+func CellPhoneOntology() *ontology.Ontology {
+	var b ontology.Builder
+	phone := b.AddConcept("phone", "device", "handset")
+
+	// Display group.
+	screen := b.Child(phone, "screen", "display")
+	b.Child(screen, "screen size", "display size")
+	b.Child(screen, "screen resolution", "resolution")
+	b.Child(screen, "screen brightness", "brightness")
+	b.Child(screen, "screen color", "display color", "color accuracy")
+	b.Child(screen, "touchscreen", "touch screen", "touch response")
+	b.Child(screen, "screen glass", "gorilla glass")
+	viewing := b.Child(screen, "viewing angle")
+	_ = viewing
+
+	// Battery group.
+	battery := b.Child(phone, "battery")
+	b.Child(battery, "battery life")
+	charging := b.Child(battery, "charging", "charger")
+	b.Child(charging, "fast charging", "quick charge")
+	b.Child(charging, "wireless charging")
+	b.Child(battery, "battery drain", "standby drain")
+
+	// Camera group.
+	camera := b.Child(phone, "camera")
+	b.Child(camera, "picture quality", "photo quality", "image quality")
+	b.Child(camera, "front camera", "selfie camera")
+	b.Child(camera, "rear camera", "back camera")
+	b.Child(camera, "video recording", "video quality")
+	b.Child(camera, "camera flash", "flash")
+	b.Child(camera, "zoom")
+	b.Child(camera, "low light performance", "night mode")
+
+	// Audio group.
+	audio := b.Child(phone, "audio", "sound")
+	b.Child(audio, "speaker", "speakers")
+	b.Child(audio, "volume", "loudness")
+	b.Child(audio, "headphone jack", "audio jack")
+	b.Child(audio, "call quality", "voice quality")
+	b.Child(audio, "microphone", "mic")
+
+	// Performance group.
+	perf := b.Child(phone, "performance", "speed")
+	b.Child(perf, "processor", "cpu", "chipset")
+	b.Child(perf, "memory", "ram")
+	b.Child(perf, "storage", "internal storage")
+	b.Child(perf, "gaming performance", "gaming")
+	b.Child(perf, "multitasking")
+	b.Child(perf, "lag", "stutter")
+
+	// Software group.
+	software := b.Child(phone, "software", "os")
+	b.Child(software, "android version", "android")
+	b.Child(software, "user interface", "ui", "launcher")
+	b.Child(software, "updates", "software update", "security update")
+	b.Child(software, "bloatware", "preinstalled apps")
+	b.Child(software, "apps", "applications")
+
+	// Connectivity group.
+	conn := b.Child(phone, "connectivity", "connection")
+	b.Child(conn, "wifi", "wi-fi")
+	b.Child(conn, "bluetooth")
+	b.Child(conn, "signal", "reception", "signal strength")
+	b.Child(conn, "gps", "navigation")
+	simSlot := b.Child(conn, "sim slot", "sim card", "dual sim")
+	_ = simSlot
+	b.Child(conn, "nfc")
+
+	// Build & design group.
+	design := b.Child(phone, "design", "build")
+	b.Child(design, "build quality", "construction")
+	b.Child(design, "size", "dimensions")
+	b.Child(design, "weight")
+	b.Child(design, "look", "appearance", "style")
+	b.Child(design, "buttons", "button", "power button")
+	b.Child(design, "fingerprint sensor", "fingerprint reader", "fingerprint scanner")
+	b.Child(design, "case", "back cover")
+	b.Child(design, "durability")
+
+	// Price & value group.
+	price := b.Child(phone, "price", "cost")
+	b.Child(price, "value", "value for money", "bang for the buck")
+	b.Child(price, "deal", "discount")
+
+	// Service & logistics group.
+	service := b.Child(phone, "service", "customer service")
+	b.Child(service, "warranty")
+	b.Child(service, "shipping", "delivery")
+	b.Child(service, "packaging", "box")
+	b.Child(service, "seller", "vendor")
+	b.Child(service, "return process", "refund process", "returns")
+
+	// Accessories group.
+	acc := b.Child(phone, "accessories")
+	b.Child(acc, "included charger", "charger included")
+	b.Child(acc, "earbuds", "earphones", "headphones")
+	b.Child(acc, "screen protector")
+	b.Child(acc, "cable", "usb cable", "charging cable")
+
+	o, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("dataset: cell-phone ontology invalid: %v", err))
+	}
+	return o
+}

@@ -1,0 +1,370 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"osars/internal/extract"
+	"osars/internal/ontology"
+	"osars/internal/sentiment"
+	"osars/internal/text"
+)
+
+func TestCellPhoneOntologyShape(t *testing.T) {
+	o := CellPhoneOntology()
+	if o.Len() < 60 {
+		t.Fatalf("phone ontology too small: %d concepts", o.Len())
+	}
+	if o.MaxDepth() < 2 || o.MaxDepth() > 4 {
+		t.Fatalf("phone ontology depth = %d, want 2-4 (Fig 3 shape)", o.MaxDepth())
+	}
+	if name := o.Name(o.Root()); name != "phone" {
+		t.Fatalf("root = %q, want phone", name)
+	}
+	// Spot-check Fig 3 structure: screen resolution under screen.
+	res, ok := o.Lookup("screen resolution")
+	if !ok {
+		t.Fatal("screen resolution missing")
+	}
+	scr, _ := o.Lookup("screen")
+	if !o.IsAncestorOf(scr, res) {
+		t.Fatal("screen is not an ancestor of screen resolution")
+	}
+}
+
+func TestMedicalOntologyShape(t *testing.T) {
+	o := MedicalOntology(MedicalOntologyConfig{Seed: 1})
+	// 1 + 22 domains + 22*12 conditions + 22*12*4 variants = 1343.
+	if o.Len() != 1343 {
+		t.Fatalf("medical ontology size = %d, want 1343", o.Len())
+	}
+	if o.MaxDepth() != 3 {
+		t.Fatalf("depth = %d, want 3", o.MaxDepth())
+	}
+	// Multi-parent edges exist (DAG, not tree).
+	if o.NumEdges() <= o.Len()-1 {
+		t.Fatalf("edges = %d, want > %d (multi-parent DAG)", o.NumEdges(), o.Len()-1)
+	}
+	// Average ancestors stays small — the §4.1 near-linearity premise.
+	if avg := o.AvgAncestors(); avg > 6 {
+		t.Fatalf("avg ancestors = %v, want small", avg)
+	}
+}
+
+func TestMedicalOntologyDeterministic(t *testing.T) {
+	a := MedicalOntology(MedicalOntologyConfig{Seed: 7})
+	b := MedicalOntology(MedicalOntologyConfig{Seed: 7})
+	if a.Len() != b.Len() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed gave different ontologies")
+	}
+	c := MedicalOntology(MedicalOntologyConfig{Seed: 8})
+	if a.NumEdges() == c.NumEdges() {
+		t.Log("different seeds gave same edge count (possible but unlikely)")
+	}
+}
+
+func TestAllocateCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := allocateCounts(rng, 100, 6868, 43, 354, 0.45)
+	sum := 0
+	for _, c := range counts {
+		if c < 43 || c > 354 {
+			t.Fatalf("count %d out of [43,354]", c)
+		}
+		sum += c
+	}
+	if sum != 6868 {
+		t.Fatalf("total = %d, want 6868", sum)
+	}
+}
+
+func TestAllocateCountsEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := allocateCounts(rng, 0, 100, 1, 10, 1); got != nil {
+		t.Fatal("n=0 should give nil")
+	}
+	// Infeasible total gets clamped to n*min.
+	counts := allocateCounts(rng, 5, 1, 10, 20, 1)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 50 {
+		t.Fatalf("clamped total = %d, want 50", sum)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 3.87)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-3.87) > 0.1 {
+		t.Fatalf("poisson mean = %v, want ≈3.87", mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Fatal("poisson(0) != 0")
+	}
+}
+
+func TestGenerateSmallDoctorCorpus(t *testing.T) {
+	c := Generate(SmallDoctorConfig(11))
+	s := ComputeStats(c)
+	if s.NumItems != 12 || s.NumReviews != 600 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MinReviewsPerItem < 20 || s.MaxReviewsPerItem > 90 {
+		t.Fatalf("review bounds violated: %+v", s)
+	}
+	if s.AvgSentencesPerRev < 3.8 || s.AvgSentencesPerRev > 6 {
+		t.Fatalf("avg sentences = %v, want ≈4.87", s.AvgSentencesPerRev)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(SmallCellPhoneConfig(42))
+	b := Generate(SmallCellPhoneConfig(42))
+	if len(a.Items) != len(b.Items) {
+		t.Fatal("same seed, different item counts")
+	}
+	for i := range a.Items {
+		if len(a.Items[i].Reviews) != len(b.Items[i].Reviews) {
+			t.Fatalf("item %d review counts differ", i)
+		}
+		for j := range a.Items[i].Reviews {
+			if a.Items[i].Reviews[j].Text != b.Items[i].Reviews[j].Text {
+				t.Fatalf("item %d review %d text differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneratedTextIsExtractable(t *testing.T) {
+	// The whole point of the generator: the pipeline must recover
+	// concept-sentiment pairs from the synthetic text.
+	c := Generate(SmallCellPhoneConfig(7))
+	p := extract.NewPipeline(extract.NewMatcher(c.Ont), sentiment.Lexicon{})
+	totalPairs, totalSentences := 0, 0
+	for _, it := range c.Items[:3] {
+		for _, r := range it.Reviews {
+			rev := p.AnnotateReview(r.ID, r.Text, r.Rating)
+			totalSentences += len(rev.Sentences)
+			totalPairs += len(rev.Pairs())
+		}
+	}
+	if totalPairs == 0 {
+		t.Fatal("no pairs extracted from generated text")
+	}
+	// Mention probability is 0.8; with two-concept sentences the pair
+	// rate should comfortably exceed 0.5 per sentence.
+	rate := float64(totalPairs) / float64(totalSentences)
+	if rate < 0.5 {
+		t.Fatalf("pair rate = %v pairs/sentence, want ≥ 0.5", rate)
+	}
+}
+
+func TestGeneratedSentimentRecoverable(t *testing.T) {
+	// Extracted sentence sentiments should correlate strongly with the
+	// generator's latent truth.
+	c := Generate(SmallCellPhoneConfig(19))
+	p := extract.NewPipeline(extract.NewMatcher(c.Ont), sentiment.Lexicon{})
+	var sumErr float64
+	var n int
+	for _, it := range c.Items[:3] {
+		for _, r := range it.Reviews {
+			rev := p.AnnotateReview(r.ID, r.Text, r.Rating)
+			for _, pair := range rev.Pairs() {
+				truth, ok := it.Truth[pair.Concept]
+				if !ok {
+					continue
+				}
+				sumErr += math.Abs(pair.Sentiment - truth)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no truth-matched pairs")
+	}
+	mae := sumErr / float64(n)
+	// Noise per sentence is σ≈0.2 plus bank quantization plus
+	// two-concept averaging; MAE ≈ 0.3 is expected, 0.55 would mean
+	// the text does not encode the sentiment.
+	if mae > 0.55 {
+		t.Fatalf("sentiment MAE vs truth = %v, too high", mae)
+	}
+}
+
+func TestStarsConsistentWithRating(t *testing.T) {
+	c := Generate(SmallDoctorConfig(3))
+	for _, it := range c.Items {
+		for _, r := range it.Reviews {
+			if r.Stars < 1 || r.Stars > 5 {
+				t.Fatalf("stars = %d", r.Stars)
+			}
+			if want := float64(r.Stars-3) / 2; r.Rating != want {
+				t.Fatalf("rating %v inconsistent with stars %d", r.Rating, r.Stars)
+			}
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	c := Generate(SmallCellPhoneConfig(13))
+	var buf bytes.Buffer
+	if err := WriteItemsJSONL(&buf, c.Items[:4]); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadItemsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 {
+		t.Fatalf("read %d items, want 4", len(back))
+	}
+	for i := range back {
+		if back[i].ID != c.Items[i].ID || len(back[i].Reviews) != len(c.Items[i].Reviews) {
+			t.Fatalf("item %d mismatch", i)
+		}
+	}
+}
+
+func TestSaveLoadCorpus(t *testing.T) {
+	dir := t.TempDir()
+	c := Generate(SmallCellPhoneConfig(23))
+	ontPath := filepath.Join(dir, "ont.json")
+	itemsPath := filepath.Join(dir, "items.jsonl")
+	if err := SaveCorpus(c, ontPath, itemsPath); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCorpus(ontPath, itemsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ont.Len() != c.Ont.Len() || len(back.Items) != len(c.Items) {
+		t.Fatal("corpus round trip mismatch")
+	}
+	// Concept IDs must survive so saved truth maps stay valid.
+	if back.Ont.Name(3) != c.Ont.Name(3) {
+		t.Fatal("concept IDs not stable across save/load")
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(&Corpus{Ont: CellPhoneOntology()})
+	if s.NumItems != 0 || s.NumReviews != 0 || s.MinReviewsPerItem != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+	if s.Table1Row("x") == "" {
+		t.Fatal("Table1Row empty")
+	}
+}
+
+func TestSurfaceFormsMatchable(t *testing.T) {
+	// Every concept name and synonym in both ontologies must be
+	// findable by the matcher when embedded in a sentence.
+	for _, o := range []*ontology.Ontology{CellPhoneOntology(), MedicalOntology(MedicalOntologyConfig{Seed: 2})} {
+		m := extract.NewMatcher(o)
+		for id := ontology.ConceptID(0); int(id) < o.Len(); id++ {
+			if id == o.Root() {
+				continue
+			}
+			sentence := "the " + o.Name(id) + " is great"
+			found := false
+			for _, mt := range m.MatchTokens(text.Tokenize(sentence)) {
+				if mt.Concept == id || o.IsAncestorOf(mt.Concept, id) || o.IsAncestorOf(id, mt.Concept) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("concept %q not matchable in its own sentence", o.Name(id))
+			}
+		}
+	}
+}
+
+func TestAllocateCountsPinsExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	counts := allocateCounts(rng, 60, 33578, 102, 3200, 1.1)
+	lo, hi, sum := counts[0], counts[0], 0
+	for _, c := range counts {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+		sum += c
+	}
+	if lo != 102 || hi != 3200 {
+		t.Fatalf("min/max = %d/%d, want pinned 102/3200", lo, hi)
+	}
+	if sum != 33578 {
+		t.Fatalf("total = %d, want 33578", sum)
+	}
+}
+
+func TestFullConfigsMatchTable1Bounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpora are slow in -short mode")
+	}
+	for _, tc := range []struct {
+		cfg      CorpusConfig
+		items    int
+		reviews  int
+		min, max int
+	}{
+		{DoctorConfig(1), 1000, 68686, 43, 354},
+		{CellPhoneConfig(1), 60, 33578, 102, 3200},
+	} {
+		c := Generate(tc.cfg)
+		s := ComputeStats(c)
+		if s.NumItems != tc.items || s.NumReviews != tc.reviews {
+			t.Fatalf("%+v: got %d items / %d reviews", tc.cfg.Domain, s.NumItems, s.NumReviews)
+		}
+		if s.MinReviewsPerItem != tc.min || s.MaxReviewsPerItem != tc.max {
+			t.Fatalf("%+v: min/max = %d/%d, want %d/%d", tc.cfg.Domain,
+				s.MinReviewsPerItem, s.MaxReviewsPerItem, tc.min, tc.max)
+		}
+	}
+}
+
+func TestRestaurantOntologyShape(t *testing.T) {
+	o := RestaurantOntology()
+	if o.Len() < 30 {
+		t.Fatalf("restaurant ontology too small: %d", o.Len())
+	}
+	food, ok := o.Lookup("food")
+	if !ok {
+		t.Fatal("food missing")
+	}
+	taste, ok := o.Lookup("taste")
+	if !ok || !o.IsAncestorOf(food, taste) {
+		t.Fatal("taste should sit under food")
+	}
+}
+
+func TestRestaurantCorpusExtractable(t *testing.T) {
+	c := Generate(SmallRestaurantConfig(5))
+	s := ComputeStats(c)
+	if s.NumItems != 6 || s.NumReviews != 300 {
+		t.Fatalf("stats = %+v", s)
+	}
+	p := extract.NewPipeline(extract.NewMatcher(c.Ont), sentiment.Lexicon{})
+	pairs := 0
+	for _, it := range c.Items[:2] {
+		for _, r := range it.Reviews {
+			rev := p.AnnotateReview(r.ID, r.Text, r.Rating)
+			pairs += len(rev.Pairs())
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no pairs extracted from restaurant reviews")
+	}
+}

@@ -1,0 +1,526 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"osars/internal/ontology"
+)
+
+// Domain selects the template bank the text generator uses.
+type Domain int
+
+// The two review domains of the paper's evaluation (§5.1).
+const (
+	DomainDoctor Domain = iota
+	DomainPhone
+	DomainRestaurant
+)
+
+// CorpusConfig sizes a synthetic review corpus. Presets matching
+// Table 1 are DoctorConfig and CellPhoneConfig; the Small variants are
+// for tests and examples.
+type CorpusConfig struct {
+	Seed         int64
+	Domain       Domain
+	NumItems     int
+	TotalReviews int
+	// MinReviews / MaxReviews bound reviews per item (Table 1 rows 3-4).
+	MinReviews, MaxReviews int
+	// MeanSentences is the average sentences per review (Table 1 row 5).
+	MeanSentences float64
+	// SkewSigma is the log-normal spread of per-item review counts
+	// (phones are much more skewed than doctors).
+	SkewSigma float64
+	// ConceptMentionProb is the chance a sentence carries an aspect
+	// mention (the rest is filler).
+	ConceptMentionProb float64
+	// TwoConceptProb is the chance a mention sentence carries two
+	// aspects.
+	TwoConceptProb float64
+	// ZipfExponent shapes aspect popularity (weight ∝ 1/rank^e).
+	ZipfExponent float64
+}
+
+// DoctorConfig is the Table 1 doctor-review corpus: 1000 items, 68686
+// reviews, 43-354 reviews per item, 4.87 sentences per review.
+func DoctorConfig(seed int64) CorpusConfig {
+	return CorpusConfig{
+		Seed: seed, Domain: DomainDoctor,
+		NumItems: 1000, TotalReviews: 68686,
+		MinReviews: 43, MaxReviews: 354,
+		MeanSentences: 4.87, SkewSigma: 0.45,
+		ConceptMentionProb: 0.75, TwoConceptProb: 0.2,
+		ZipfExponent: 1.05,
+	}
+}
+
+// CellPhoneConfig is the Table 1 cell-phone corpus: 60 items, 33578
+// reviews, 102-3200 reviews per item, 3.81 sentences per review.
+func CellPhoneConfig(seed int64) CorpusConfig {
+	return CorpusConfig{
+		Seed: seed, Domain: DomainPhone,
+		NumItems: 60, TotalReviews: 33578,
+		MinReviews: 102, MaxReviews: 3200,
+		MeanSentences: 3.81, SkewSigma: 1.1,
+		ConceptMentionProb: 0.8, TwoConceptProb: 0.25,
+		ZipfExponent: 0.95,
+	}
+}
+
+// SmallDoctorConfig is a downscaled doctor corpus for tests/examples.
+func SmallDoctorConfig(seed int64) CorpusConfig {
+	c := DoctorConfig(seed)
+	c.NumItems = 12
+	c.TotalReviews = 600
+	c.MinReviews = 20
+	c.MaxReviews = 90
+	return c
+}
+
+// SmallCellPhoneConfig is a downscaled phone corpus for tests/examples.
+func SmallCellPhoneConfig(seed int64) CorpusConfig {
+	c := CellPhoneConfig(seed)
+	c.NumItems = 8
+	c.TotalReviews = 400
+	c.MinReviews = 25
+	c.MaxReviews = 120
+	return c
+}
+
+// RawReviewDoc is one generated, unprocessed review.
+type RawReviewDoc struct {
+	ID     string  `json:"id"`
+	Text   string  `json:"text"`
+	Stars  int     `json:"stars"`
+	Rating float64 `json:"rating"` // stars normalized to [-1, +1]
+}
+
+// RawItem is one generated item with its latent per-aspect ground
+// truth (useful for validating the sentiment estimators; the
+// experiments themselves use only the extracted pairs, as the paper
+// does).
+type RawItem struct {
+	ID      string                         `json:"id"`
+	Name    string                         `json:"name"`
+	Reviews []RawReviewDoc                 `json:"reviews"`
+	Truth   map[ontology.ConceptID]float64 `json:"truth,omitempty"`
+}
+
+// Corpus is a generated dataset: the ontology plus raw items.
+type Corpus struct {
+	Ont   *ontology.Ontology
+	Items []RawItem
+}
+
+// opinion banks: adjectives grouped by the exact prior strength they
+// carry in the sentiment lexicon, so the lexicon estimator recovers
+// the intended sentence sentiment. Domain-specific words are split out
+// so "broken" never describes a doctor's bedside manner.
+type bank struct {
+	val   float64
+	words []string
+}
+
+var sharedBanks = []bank{
+	{+1.0, []string{"excellent", "amazing", "outstanding", "superb", "perfect", "fantastic", "wonderful", "awesome"}},
+	{+0.75, []string{"great", "impressive", "terrific", "remarkable"}},
+	{+0.5, []string{"good", "nice", "solid", "clean", "pleasant"}},
+	{+0.25, []string{"fine", "decent", "okay", "adequate", "acceptable", "fair"}},
+	{-0.4, []string{"dull", "late"}},
+	{-0.5, []string{"slow", "mediocre", "weak", "wrong"}},
+	{-0.75, []string{"bad", "poor", "disappointing"}},
+	{-1.0, []string{"terrible", "horrible", "awful", "dreadful", "unacceptable"}},
+}
+
+var doctorBanks = []bank{
+	{+0.75, []string{"caring", "compassionate", "knowledgeable"}},
+	{+0.7, []string{"thorough", "attentive", "friendly", "courteous", "professional"}},
+	{+0.6, []string{"comfortable", "helpful", "patient", "gentle", "kind", "efficient", "prompt"}},
+	{-0.5, []string{"uncomfortable", "rushed"}},
+	{-0.7, []string{"careless", "painful", "frustrating"}},
+	{-0.75, []string{"arrogant", "dismissive"}},
+	{-0.8, []string{"rude", "unprofessional"}},
+}
+
+var phoneBanks = []bank{
+	{+0.7, []string{"vivid", "crisp"}},
+	{+0.6, []string{"sleek", "snappy", "responsive", "smooth", "sharp", "reliable", "durable", "sturdy"}},
+	{+0.5, []string{"fast", "quick", "easy", "clear", "affordable", "bright"}},
+	{-0.4, []string{"expensive", "cheap", "dim"}},
+	{-0.5, []string{"blurry", "grainy", "scratched"}},
+	{-0.6, []string{"laggy", "flimsy", "annoying"}},
+	{-0.7, []string{"glitchy", "buggy", "unreliable", "faulty"}},
+	{-0.75, []string{"broken"}},
+	{-0.8, []string{"defective", "crappy"}},
+}
+
+var doctorFillers = []string{
+	"I have been a patient here for two years.",
+	"The office is near the mall downtown.",
+	"I scheduled my appointment online.",
+	"My whole family comes here now.",
+	"Parking was straightforward.",
+	"I was referred by a coworker.",
+	"The waiting room had plenty of chairs.",
+	"I go twice a year for checkups.",
+	"The location moved last spring.",
+	"They take most insurance plans.",
+}
+
+var phoneFillers = []string{
+	"I bought it last month from this listing.",
+	"This is my second one of these.",
+	"It came in a small box.",
+	"I use it daily for work and travel.",
+	"Switched over from my old model.",
+	"Set up took about ten minutes.",
+	"I paired it with my old accessories.",
+	"Ordered on Monday, arrived Thursday.",
+	"My daughter has the same model.",
+	"I read a lot of reviews before buying.",
+}
+
+// generator carries per-corpus state.
+type generator struct {
+	cfg      CorpusConfig
+	rng      *rand.Rand
+	ont      *ontology.Ontology
+	concepts []ontology.ConceptID // mentionable (non-root), popularity order
+	cumZipf  []float64
+	banks    []bank
+	fillers  []string
+}
+
+// Generate builds a deterministic corpus for the config. The ontology
+// is the Fig 3 hierarchy for phones and the synthetic SNOMED-like
+// hierarchy for doctors.
+func Generate(cfg CorpusConfig) *Corpus {
+	var ont *ontology.Ontology
+	switch cfg.Domain {
+	case DomainDoctor:
+		ont = MedicalOntology(MedicalOntologyConfig{Seed: cfg.Seed})
+	case DomainPhone:
+		ont = CellPhoneOntology()
+	case DomainRestaurant:
+		ont = RestaurantOntology()
+	default:
+		panic(fmt.Sprintf("dataset: unknown domain %d", cfg.Domain))
+	}
+	return GenerateWithOntology(cfg, ont)
+}
+
+// GenerateWithOntology generates reviews over a caller-provided
+// ontology (any rooted DAG whose concept names should appear in text).
+func GenerateWithOntology(cfg CorpusConfig, ont *ontology.Ontology) *Corpus {
+	g := &generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		ont: ont,
+	}
+	switch cfg.Domain {
+	case DomainDoctor:
+		g.banks = append(append([]bank{}, sharedBanks...), doctorBanks...)
+		g.fillers = doctorFillers
+	case DomainRestaurant:
+		g.banks = append(append([]bank{}, sharedBanks...), restaurantBanks...)
+		g.fillers = restaurantFillers
+	default:
+		g.banks = append(append([]bank{}, sharedBanks...), phoneBanks...)
+		g.fillers = phoneFillers
+	}
+
+	// Popularity ranking: shuffle non-root concepts deterministically,
+	// then weight by Zipf over the shuffled rank.
+	for id := ontology.ConceptID(0); int(id) < ont.Len(); id++ {
+		if id != ont.Root() {
+			g.concepts = append(g.concepts, id)
+		}
+	}
+	g.rng.Shuffle(len(g.concepts), func(i, j int) {
+		g.concepts[i], g.concepts[j] = g.concepts[j], g.concepts[i]
+	})
+	g.cumZipf = make([]float64, len(g.concepts))
+	sum := 0.0
+	for i := range g.concepts {
+		sum += 1 / math.Pow(float64(i+2), cfg.ZipfExponent)
+		g.cumZipf[i] = sum
+	}
+
+	counts := allocateCounts(g.rng, cfg.NumItems, cfg.TotalReviews, cfg.MinReviews, cfg.MaxReviews, cfg.SkewSigma)
+	corpus := &Corpus{Ont: ont}
+	for i := 0; i < cfg.NumItems; i++ {
+		corpus.Items = append(corpus.Items, g.item(i, counts[i]))
+	}
+	return corpus
+}
+
+func (g *generator) itemName(i int) string {
+	switch g.cfg.Domain {
+	case DomainDoctor:
+		return fmt.Sprintf("Dr. %s %s", firstNames[i%len(firstNames)], lastNames[(i/len(firstNames))%len(lastNames)])
+	case DomainRestaurant:
+		return fmt.Sprintf("%s Table %d", restaurantNames[i%len(restaurantNames)], 1+i)
+	default:
+		return fmt.Sprintf("Axion %s %d", phoneSeries[i%len(phoneSeries)], 100+i)
+	}
+}
+
+var firstNames = []string{
+	"Alice", "Brian", "Carmen", "David", "Elena", "Frank", "Grace",
+	"Hassan", "Irene", "James", "Karen", "Luis", "Maria", "Nathan",
+	"Olivia", "Peter", "Quinn", "Rosa", "Samuel", "Teresa",
+}
+
+var lastNames = []string{
+	"Anderson", "Brooks", "Chen", "Diaz", "Evans", "Foster", "Garcia",
+	"Huang", "Ivanov", "Johnson", "Kim", "Lopez", "Miller", "Nguyen",
+	"Okafor", "Patel", "Quintero", "Rossi", "Smith", "Torres",
+	"Ueda", "Vargas", "Williams", "Xu", "Young", "Zhang",
+}
+
+var phoneSeries = []string{"Nova", "Pulse", "Edge", "Prime", "Zen", "Volt", "Aero", "Core"}
+
+// item generates one item with nReviews reviews.
+func (g *generator) item(idx, nReviews int) RawItem {
+	item := RawItem{
+		ID:    fmt.Sprintf("item-%04d", idx),
+		Name:  g.itemName(idx),
+		Truth: map[ontology.ConceptID]float64{},
+	}
+	// Latent item quality, skewed positive like real review sites.
+	quality := clamp(g.rng.NormFloat64()*0.45 + 0.35)
+	for r := 0; r < nReviews; r++ {
+		item.Reviews = append(item.Reviews, g.review(&item, quality, r))
+	}
+	return item
+}
+
+// truthFor lazily draws the latent sentiment of a concept for an item.
+func (g *generator) truthFor(item *RawItem, quality float64, c ontology.ConceptID) float64 {
+	if s, ok := item.Truth[c]; ok {
+		return s
+	}
+	s := clamp(quality + g.rng.NormFloat64()*0.35)
+	item.Truth[c] = s
+	return s
+}
+
+func (g *generator) review(item *RawItem, quality float64, idx int) RawReviewDoc {
+	n := 1 + poisson(g.rng, g.cfg.MeanSentences-1)
+	var sentences []string
+	sentSum, sentN := 0.0, 0
+	for s := 0; s < n; s++ {
+		if g.rng.Float64() >= g.cfg.ConceptMentionProb {
+			sentences = append(sentences, g.fillers[g.rng.Intn(len(g.fillers))])
+			continue
+		}
+		c1 := g.sampleConcept()
+		s1 := clamp(g.truthFor(item, quality, c1) + g.rng.NormFloat64()*0.2)
+		if g.rng.Float64() < g.cfg.TwoConceptProb {
+			c2 := g.sampleConcept()
+			if c2 != c1 {
+				s2 := clamp(g.truthFor(item, quality, c2) + g.rng.NormFloat64()*0.2)
+				sentences = append(sentences, g.twoConceptSentence(c1, s1, c2, s2))
+				sentSum += (s1 + s2) / 2
+				sentN++
+				continue
+			}
+		}
+		sentences = append(sentences, g.oneConceptSentence(c1, s1))
+		sentSum += s1
+		sentN++
+	}
+	avg := quality
+	if sentN > 0 {
+		avg = sentSum / float64(sentN)
+	}
+	stars := int(math.Round((clamp(avg+g.rng.NormFloat64()*0.15)+1)*2)) + 1
+	if stars < 1 {
+		stars = 1
+	}
+	if stars > 5 {
+		stars = 5
+	}
+	return RawReviewDoc{
+		ID:     fmt.Sprintf("%s-r%04d", item.ID, idx),
+		Text:   strings.Join(sentences, " "),
+		Stars:  stars,
+		Rating: float64(stars-3) / 2,
+	}
+}
+
+// sampleConcept draws a concept by Zipf popularity.
+func (g *generator) sampleConcept() ontology.ConceptID {
+	total := g.cumZipf[len(g.cumZipf)-1]
+	r := g.rng.Float64() * total
+	lo, hi := 0, len(g.cumZipf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cumZipf[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return g.concepts[lo]
+}
+
+// surface picks the concept's name or one of its synonyms.
+func (g *generator) surface(c ontology.ConceptID) string {
+	syn := g.ont.Synonyms(c)
+	if len(syn) > 0 && g.rng.Float64() < 0.35 {
+		return syn[g.rng.Intn(len(syn))]
+	}
+	return g.ont.Name(c)
+}
+
+// adjectiveFor picks an opinion adjective whose lexicon strength is
+// closest to the target sentiment, with ties broken randomly among
+// near-equal banks.
+func (g *generator) adjectiveFor(target float64) (word string, val float64) {
+	bestDist := math.Inf(1)
+	var cands []bank
+	for _, b := range g.banks {
+		d := math.Abs(b.val - target)
+		switch {
+		case d < bestDist-0.049:
+			bestDist = d
+			cands = cands[:0]
+			cands = append(cands, b)
+		case d <= bestDist+0.049:
+			cands = append(cands, b)
+		}
+	}
+	b := cands[g.rng.Intn(len(cands))]
+	return b.words[g.rng.Intn(len(b.words))], b.val
+}
+
+func (g *generator) oneConceptSentence(c ontology.ConceptID, target float64) string {
+	name := g.surface(c)
+	adj, _ := g.adjectiveFor(target)
+	switch g.rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("The %s is %s.", name, adj)
+	case 1:
+		return fmt.Sprintf("The %s was %s.", name, adj)
+	case 2:
+		return fmt.Sprintf("%s %s.", capitalize(adj), name)
+	case 3:
+		return fmt.Sprintf("I found the %s to be %s.", name, adj)
+	default:
+		return fmt.Sprintf("Honestly the %s seemed %s to me.", name, adj)
+	}
+}
+
+func (g *generator) twoConceptSentence(c1 ontology.ConceptID, s1 float64, c2 ontology.ConceptID, s2 float64) string {
+	n1, n2 := g.surface(c1), g.surface(c2)
+	a1, _ := g.adjectiveFor(s1)
+	a2, _ := g.adjectiveFor(s2)
+	if (s1 > 0) != (s2 > 0) {
+		return fmt.Sprintf("The %s is %s but the %s is %s.", n1, a1, n2, a2)
+	}
+	if g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("The %s is %s and the %s is %s.", n1, a1, n2, a2)
+	}
+	return fmt.Sprintf("Both the %s and the %s are %s.", n1, n2, a1)
+}
+
+// allocateCounts draws per-item review counts from a clamped
+// log-normal and adjusts them to sum exactly to total. When feasible,
+// the least-reviewed item is pinned to min and the most-reviewed to
+// max, so the generated corpus reproduces Table 1's min/max rows
+// exactly (43/354 for doctors, 102/3200 for phones).
+func allocateCounts(rng *rand.Rand, n, total, min, max int, sigma float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	if total < n*min {
+		total = n * min
+	}
+	if total > n*max {
+		total = n * max
+	}
+	counts := make([]int, n)
+	free := n // items the repair loop may adjust, prefix [pinned..n)
+	pinned := 0
+	// Pin the extremes when the remainder stays feasible.
+	if n >= 2 && total-min-max >= (n-2)*min && total-min-max <= (n-2)*max {
+		counts[0] = min
+		counts[1] = max
+		pinned = 2
+		free = n - 2
+		total -= min + max
+	}
+	if free == 0 {
+		return counts
+	}
+	w := make([]float64, free)
+	sum := 0.0
+	for i := range w {
+		w[i] = math.Exp(rng.NormFloat64() * sigma)
+		sum += w[i]
+	}
+	cur := 0
+	for i := 0; i < free; i++ {
+		c := int(math.Round(w[i] / sum * float64(total)))
+		if c < min {
+			c = min
+		}
+		if c > max {
+			c = max
+		}
+		counts[pinned+i] = c
+		cur += c
+	}
+	// Repair the total by bumping unpinned items within their bounds.
+	for cur != total {
+		i := pinned + rng.Intn(free)
+		if cur < total && counts[i] < max {
+			counts[i]++
+			cur++
+		} else if cur > total && counts[i] > min {
+			counts[i]--
+			cur--
+		}
+	}
+	// Don't leave the pinned extremes at fixed positions: shuffle.
+	rng.Shuffle(n, func(i, j int) { counts[i], counts[j] = counts[j], counts[i] })
+	return counts
+}
+
+// poisson samples Po(λ) by Knuth's method (λ is small here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func clamp(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"osars/internal/ontology"
+)
+
+// WriteItemsJSONL streams the corpus items as one JSON object per
+// line, the interchange format the CLI tools consume.
+func WriteItemsJSONL(w io.Writer, items []RawItem) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range items {
+		if err := enc.Encode(&items[i]); err != nil {
+			return fmt.Errorf("dataset: encode item %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadItemsJSONL reads items back from the JSONL stream.
+func ReadItemsJSONL(r io.Reader) ([]RawItem, error) {
+	var items []RawItem
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var it RawItem
+		if err := dec.Decode(&it); err == io.EOF {
+			return items, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("dataset: decode item %d: %w", len(items), err)
+		}
+		items = append(items, it)
+	}
+}
+
+// SaveCorpus writes the ontology (JSON) and items (JSONL) to two
+// files.
+func SaveCorpus(c *Corpus, ontPath, itemsPath string) error {
+	ontData, err := json.Marshal(c.Ont)
+	if err != nil {
+		return fmt.Errorf("dataset: marshal ontology: %w", err)
+	}
+	if err := os.WriteFile(ontPath, ontData, 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(itemsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteItemsJSONL(f, c.Items); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCorpus reads a corpus saved by SaveCorpus.
+func LoadCorpus(ontPath, itemsPath string) (*Corpus, error) {
+	ontData, err := os.ReadFile(ontPath)
+	if err != nil {
+		return nil, err
+	}
+	var ont ontology.Ontology
+	if err := json.Unmarshal(ontData, &ont); err != nil {
+		return nil, fmt.Errorf("dataset: unmarshal ontology: %w", err)
+	}
+	f, err := os.Open(itemsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	items, err := ReadItemsJSONL(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{Ont: &ont, Items: items}, nil
+}

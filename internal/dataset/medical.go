@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"osars/internal/ontology"
+)
+
+// MedicalOntologyConfig sizes the synthetic SNOMED-CT-like ontology.
+// The real SNOMED CT has >300,000 concepts; the summarization layer
+// only touches the small populated region around the concepts reviews
+// mention, so the default reproduces that region's structure (depth,
+// fan-out, multi-parent DAG edges, small average ancestor count)
+// without the full terminology.
+type MedicalOntologyConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// BranchDomains is the level-1 fan-out (default: all built-in
+	// clinical domains).
+	BranchDomains int
+	// ConditionsPerDomain controls mid-level size (default 12).
+	ConditionsPerDomain int
+	// VariantsPerCondition controls leaf fan-out (default 4).
+	VariantsPerCondition int
+	// MultiParentProb is the chance a condition also attaches to a
+	// second domain, making the hierarchy a proper DAG (default 0.15).
+	MultiParentProb float64
+}
+
+func (c *MedicalOntologyConfig) defaults() {
+	if c.ConditionsPerDomain <= 0 {
+		c.ConditionsPerDomain = 12
+	}
+	if c.VariantsPerCondition <= 0 {
+		c.VariantsPerCondition = 4
+	}
+	if c.MultiParentProb <= 0 {
+		c.MultiParentProb = 0.15
+	}
+}
+
+// clinicalDomains are the level-1 concepts under the root, mixing the
+// medical-condition and care-experience aspects that dominate doctor
+// reviews.
+var clinicalDomains = []struct {
+	name     string
+	synonyms []string
+}{
+	{"heart disease", []string{"cardiac condition", "cardiovascular disease"}},
+	{"diabetes care", []string{"diabetes management", "blood sugar care"}},
+	{"orthopedic care", []string{"bone and joint care"}},
+	{"dermatology care", []string{"skin care", "skin condition"}},
+	{"surgery", []string{"surgical procedure", "operation"}},
+	{"pain management", []string{"pain treatment", "chronic pain care"}},
+	{"mental health care", []string{"behavioral health"}},
+	{"pregnancy care", []string{"prenatal care", "obstetric care"}},
+	{"pediatric care", []string{"child care", "children's care"}},
+	{"cancer treatment", []string{"oncology care", "tumor treatment"}},
+	{"allergy treatment", []string{"allergy care"}},
+	{"digestive health", []string{"gastrointestinal care", "stomach care"}},
+	{"bedside manner", []string{"doctor's manner", "doctor attitude"}},
+	{"office experience", []string{"office visit", "clinic experience"}},
+	{"billing", []string{"billing process", "insurance handling"}},
+	{"staff", []string{"office staff", "front desk"}},
+	{"wait time", []string{"waiting time", "wait"}},
+	{"communication", []string{"doctor communication"}},
+	{"diagnosis", []string{"diagnostic skill"}},
+	{"medication management", []string{"prescription management"}},
+	{"follow up", []string{"follow-up care", "aftercare"}},
+	{"scheduling", []string{"appointment scheduling", "booking"}},
+}
+
+var conditionQualifiers = []string{
+	"chronic", "acute", "severe", "mild", "recurrent", "early stage",
+	"advanced", "post operative", "pediatric", "adult onset",
+	"seasonal", "persistent",
+}
+
+var variantQualifiers = []string{
+	"type a", "type b", "stage one", "stage two", "left side",
+	"right side", "upper", "lower", "primary", "secondary",
+}
+
+// MedicalOntology generates the synthetic hierarchy: root "clinical
+// concern" → domains → qualified conditions → qualified variants, with
+// occasional second parents creating DAG (not tree) structure. Concept
+// counts: 1 + D + D·C + D·C·V.
+func MedicalOntology(cfg MedicalOntologyConfig) *ontology.Ontology {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nd := cfg.BranchDomains
+	if nd <= 0 || nd > len(clinicalDomains) {
+		nd = len(clinicalDomains)
+	}
+	var b ontology.Builder
+	root := b.AddConcept("clinical concern", "health concern")
+
+	domains := make([]ontology.ConceptID, nd)
+	for i := 0; i < nd; i++ {
+		d := clinicalDomains[i]
+		domains[i] = b.Child(root, d.name, d.synonyms...)
+	}
+	for i := 0; i < nd; i++ {
+		dname := clinicalDomains[i].name
+		for c := 0; c < cfg.ConditionsPerDomain; c++ {
+			q := conditionQualifiers[c%len(conditionQualifiers)]
+			cname := fmt.Sprintf("%s %s", q, dname)
+			cond := b.Child(domains[i], cname)
+			// DAG edge: some conditions also belong to a second domain
+			// ("chronic heart disease" is also a "pain management"
+			// concern etc.).
+			if rng.Float64() < cfg.MultiParentProb {
+				other := domains[rng.Intn(nd)]
+				if other != domains[i] {
+					if err := b.AddEdge(other, cond); err != nil {
+						panic(err)
+					}
+				}
+			}
+			for v := 0; v < cfg.VariantsPerCondition; v++ {
+				vq := variantQualifiers[(c+v)%len(variantQualifiers)]
+				b.Child(cond, fmt.Sprintf("%s %s %s", vq, q, dname))
+			}
+		}
+	}
+	o, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("dataset: medical ontology invalid: %v", err))
+	}
+	return o
+}

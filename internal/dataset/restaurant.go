@@ -1,0 +1,110 @@
+package dataset
+
+import "fmt"
+
+import "osars/internal/ontology"
+
+// RestaurantOntology is an aspect hierarchy for local-service
+// (restaurant) reviews — the domain of the "proportional" baseline's
+// original paper (Blair-Goldensohn et al. 2008). It demonstrates that
+// the framework is domain-agnostic: any rooted aspect DAG plugs in.
+func RestaurantOntology() *ontology.Ontology {
+	var b ontology.Builder
+	root := b.AddConcept("restaurant", "place", "spot")
+
+	food := b.Child(root, "food", "meal", "dishes")
+	b.Child(food, "taste", "flavor")
+	b.Child(food, "portion size", "portions", "serving size")
+	b.Child(food, "freshness", "fresh ingredients")
+	b.Child(food, "menu", "menu selection", "menu variety")
+	b.Child(food, "appetizers", "starters")
+	b.Child(food, "desserts", "dessert")
+	b.Child(food, "drinks", "beverages", "cocktails")
+	b.Child(food, "coffee", "espresso")
+	b.Child(food, "presentation", "plating")
+
+	service := b.Child(root, "service", "staff")
+	b.Child(service, "waiter", "server", "waitress")
+	b.Child(service, "wait time", "waiting time", "wait")
+	b.Child(service, "attentiveness", "attention")
+	b.Child(service, "host", "hostess", "front desk")
+	b.Child(service, "speed of service", "service speed")
+
+	ambiance := b.Child(root, "ambiance", "atmosphere", "vibe")
+	b.Child(ambiance, "decor", "interior", "decoration")
+	b.Child(ambiance, "noise level", "noise", "loudness")
+	b.Child(ambiance, "lighting")
+	b.Child(ambiance, "seating", "tables", "booths")
+	b.Child(ambiance, "cleanliness", "clean bathrooms")
+	b.Child(ambiance, "music")
+
+	value := b.Child(root, "value", "prices", "price")
+	b.Child(value, "portions for the price", "value for money")
+	b.Child(value, "happy hour", "specials", "deals")
+
+	logistics := b.Child(root, "logistics", "convenience")
+	b.Child(logistics, "location", "neighborhood")
+	b.Child(logistics, "parking", "parking lot")
+	b.Child(logistics, "reservations", "booking")
+	b.Child(logistics, "takeout", "delivery", "to-go")
+	b.Child(logistics, "hours", "opening hours")
+
+	o, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("dataset: restaurant ontology invalid: %v", err))
+	}
+	return o
+}
+
+// RestaurantConfig is a synthetic local-services corpus in the shape
+// of a city guide's restaurant listings: 40 venues, heavily skewed
+// review counts, short reviews.
+func RestaurantConfig(seed int64) CorpusConfig {
+	return CorpusConfig{
+		Seed: seed, Domain: DomainRestaurant,
+		NumItems: 40, TotalReviews: 12000,
+		MinReviews: 30, MaxReviews: 1500,
+		MeanSentences: 3.2, SkewSigma: 1.0,
+		ConceptMentionProb: 0.8, TwoConceptProb: 0.25,
+		ZipfExponent: 0.9,
+	}
+}
+
+// SmallRestaurantConfig is the test/example-sized variant.
+func SmallRestaurantConfig(seed int64) CorpusConfig {
+	c := RestaurantConfig(seed)
+	c.NumItems = 6
+	c.TotalReviews = 300
+	c.MinReviews = 25
+	c.MaxReviews = 90
+	return c
+}
+
+var restaurantBanks = []bank{
+	{+0.9, []string{"love", "adore"}},
+	{+0.75, []string{"delightful", "terrific", "marvelous"}},
+	{+0.6, []string{"enjoyed", "comfortable", "efficient", "prompt"}},
+	{+0.5, []string{"pleasant", "clean", "fast", "affordable"}},
+	{-0.4, []string{"noisy", "expensive", "late", "dull"}},
+	{-0.5, []string{"slow", "dirty", "mediocre", "uncomfortable", "rushed"}},
+	{-0.6, []string{"annoying", "unhappy"}},
+	{-0.8, []string{"rude", "pathetic"}},
+}
+
+var restaurantFillers = []string{
+	"We came in on a Friday night.",
+	"I have walked past this place for years.",
+	"Our group of four sat by the window.",
+	"We ordered the chef's recommendation.",
+	"It was my sister's birthday dinner.",
+	"They were busy but found us a table.",
+	"We paid by card and split the bill.",
+	"The menu is posted outside the door.",
+	"I had read about it in the city guide.",
+	"We will see how the new location does.",
+}
+
+var restaurantNames = []string{
+	"Cedar", "Harvest", "Juniper", "Lantern", "Meadow", "Nonna's",
+	"Olive", "Pier", "Quince", "Rustic", "Saffron", "Tandoor",
+}

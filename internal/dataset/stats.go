@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"fmt"
+
+	"osars/internal/text"
+)
+
+// Stats are the Table 1 dataset characteristics.
+type Stats struct {
+	NumItems           int
+	NumReviews         int
+	MinReviewsPerItem  int
+	MaxReviewsPerItem  int
+	AvgSentencesPerRev float64
+}
+
+// ComputeStats derives Table 1 rows from a corpus, counting sentences
+// with the same splitter the extraction pipeline uses.
+func ComputeStats(c *Corpus) Stats {
+	s := Stats{NumItems: len(c.Items), MinReviewsPerItem: 1 << 30}
+	totalSentences := 0
+	for i := range c.Items {
+		n := len(c.Items[i].Reviews)
+		s.NumReviews += n
+		if n < s.MinReviewsPerItem {
+			s.MinReviewsPerItem = n
+		}
+		if n > s.MaxReviewsPerItem {
+			s.MaxReviewsPerItem = n
+		}
+		for _, r := range c.Items[i].Reviews {
+			totalSentences += len(text.SplitSentences(r.Text))
+		}
+	}
+	if s.NumItems == 0 {
+		s.MinReviewsPerItem = 0
+	}
+	if s.NumReviews > 0 {
+		s.AvgSentencesPerRev = float64(totalSentences) / float64(s.NumReviews)
+	}
+	return s
+}
+
+// Table1Row renders the stats as one column of the paper's Table 1.
+func (s Stats) Table1Row(label string) string {
+	return fmt.Sprintf("%-28s items=%d reviews=%d min/item=%d max/item=%d avg-sentences=%.2f",
+		label, s.NumItems, s.NumReviews, s.MinReviewsPerItem, s.MaxReviewsPerItem, s.AvgSentencesPerRev)
+}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"fmt"
+
+	"osars/internal/coverage"
+)
+
+// CoverageReport holds the coverage-oriented quality measures the
+// ICDE 2017 poster version of the paper evaluates (the WISE version
+// switched to sent-err; both are provided here).
+type CoverageReport struct {
+	// CoveredRate is the fraction of pairs covered by a summary
+	// candidate (instead of falling back to the root).
+	CoveredRate float64
+	// ExactRate is the fraction of pairs covered at distance 0 (same
+	// concept, within ε).
+	ExactRate float64
+	// AvgCoveredDistance is the mean Definition-1 distance over the
+	// covered pairs.
+	AvgCoveredDistance float64
+	// NormalizedCost is C(F, P) / C(∅, P): 1.0 for the empty summary,
+	// smaller is better.
+	NormalizedCost float64
+}
+
+func (r CoverageReport) String() string {
+	return fmt.Sprintf("covered=%.1f%% exact=%.1f%% avg-dist=%.2f norm-cost=%.3f",
+		100*r.CoveredRate, 100*r.ExactRate, r.AvgCoveredDistance, r.NormalizedCost)
+}
+
+// Coverage computes the report for a selection over a coverage graph.
+func Coverage(g *coverage.Graph, selected []int) CoverageReport {
+	if len(g.Pairs) == 0 {
+		return CoverageReport{}
+	}
+	chosen := make([]bool, g.NumCandidates)
+	for _, u := range selected {
+		chosen[u] = true
+	}
+	var rep CoverageReport
+	covered, exact, distSum, cost, n := 0, 0, 0, 0, 0
+	for w := range g.Pairs {
+		mult := int(g.Weight[w])
+		n += mult
+		best := int(g.RootDist[w])
+		hit := false
+		g.Coverers(w, func(u, dist int) bool {
+			if chosen[u] {
+				hit = true
+				if dist < best {
+					best = dist
+				}
+			}
+			return true
+		})
+		cost += best * mult
+		if hit {
+			covered += mult
+			distSum += best * mult
+			if best == 0 {
+				exact += mult
+			}
+		}
+	}
+	rep.CoveredRate = float64(covered) / float64(n)
+	rep.ExactRate = float64(exact) / float64(n)
+	if covered > 0 {
+		rep.AvgCoveredDistance = float64(distSum) / float64(covered)
+	}
+	if empty := g.EmptyCost(); empty > 0 {
+		rep.NormalizedCost = float64(cost) / empty
+	}
+	return rep
+}

@@ -1,0 +1,193 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"osars/internal/baselines"
+	"osars/internal/coverage"
+	"osars/internal/model"
+	"osars/internal/summarize"
+)
+
+// QuantRow is one data point of the Figs 4-5 experiments: one
+// (granularity, algorithm, k) cell averaged over items.
+type QuantRow struct {
+	Granularity model.Granularity
+	Algorithm   summarize.Algorithm
+	K           int
+	// AvgCost is the mean Definition-2 cost per item (Fig 5).
+	AvgCost float64
+	// AvgTime is the mean selection time per item (Fig 4); graph
+	// initialization is shared by all three algorithms and excluded,
+	// as in the paper's per-algorithm comparison.
+	AvgTime time.Duration
+	// Items is how many items the averages cover.
+	Items int
+}
+
+func (r QuantRow) String() string {
+	return fmt.Sprintf("%-9s %-6s k=%-3d avg-cost=%10.2f avg-time=%12s (n=%d)",
+		r.Granularity, r.Algorithm, r.K, r.AvgCost, r.AvgTime, r.Items)
+}
+
+// QuantConfig configures RunQuantitative.
+type QuantConfig struct {
+	// Ks are the summary sizes to sweep.
+	Ks []int
+	// Granularities to evaluate (default: all three).
+	Granularities []model.Granularity
+	// Algorithms to evaluate (default: ILP, RR, Greedy).
+	Algorithms []summarize.Algorithm
+	// Seed drives randomized rounding.
+	Seed int64
+}
+
+func (c *QuantConfig) defaults() {
+	if len(c.Ks) == 0 {
+		c.Ks = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	}
+	if len(c.Granularities) == 0 {
+		c.Granularities = []model.Granularity{
+			model.GranularityPairs, model.GranularitySentences, model.GranularityReviews,
+		}
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []summarize.Algorithm{summarize.AlgILP, summarize.AlgRR, summarize.AlgGreedy}
+	}
+}
+
+// RunQuantitative reproduces the Figs 4-5 sweep: for every granularity
+// and k it runs each algorithm on every item's coverage graph and
+// averages cost and selection time.
+func RunQuantitative(items []*model.Item, m model.Metric, cfg QuantConfig) ([]QuantRow, error) {
+	cfg.defaults()
+	var rows []QuantRow
+	for _, gran := range cfg.Granularities {
+		graphs := make([]*coverage.Graph, len(items))
+		for i, item := range items {
+			graphs[i] = coverage.Build(m, item, gran)
+		}
+		for _, k := range cfg.Ks {
+			for _, alg := range cfg.Algorithms {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(k)))
+				row := QuantRow{Granularity: gran, Algorithm: alg, K: k}
+				var totalCost float64
+				var totalTime time.Duration
+				for _, g := range graphs {
+					kk := k
+					if kk > g.NumCandidates {
+						kk = g.NumCandidates
+					}
+					start := time.Now()
+					res, err := summarize.Run(alg, g, kk, rng)
+					if err != nil {
+						return nil, fmt.Errorf("eval: %v on %v k=%d: %w", alg, gran, k, err)
+					}
+					totalTime += time.Since(start)
+					totalCost += res.Cost
+				}
+				row.Items = len(graphs)
+				if row.Items > 0 {
+					row.AvgCost = totalCost / float64(row.Items)
+					row.AvgTime = totalTime / time.Duration(row.Items)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// GreedySelector adapts the paper's greedy summarizer to the
+// sentence-selection Selector interface, for head-to-head comparison
+// with the baselines in the Fig 6 experiment.
+type GreedySelector struct {
+	Metric model.Metric
+}
+
+// Name implements baselines.Selector.
+func (GreedySelector) Name() string { return "ours (greedy)" }
+
+// SelectSentences implements baselines.Selector: build the
+// sentence-granularity coverage graph (§4.5) and run Algorithm 2.
+func (s GreedySelector) SelectSentences(item *model.Item, k int) []int {
+	g := coverage.Build(s.Metric, item, model.GranularitySentences)
+	if k > g.NumCandidates {
+		k = g.NumCandidates
+	}
+	return summarize.Greedy(g, k).Selected
+}
+
+// QualRow is one data point of the Fig 6 experiment: one (method, k)
+// cell averaged over items.
+type QualRow struct {
+	Method           string
+	K                int
+	SentErr          float64
+	SentErrPenalized float64
+	Items            int
+}
+
+func (r QualRow) String() string {
+	return fmt.Sprintf("%-14s k=%-3d sent-err=%.4f sent-err-penalized=%.4f (n=%d)",
+		r.Method, r.K, r.SentErr, r.SentErrPenalized, r.Items)
+}
+
+// RunQualitative reproduces Fig 6: every selector (our greedy + the
+// five baselines) picks k sentences per item; sent-err and
+// sent-err-penalized are averaged across items.
+func RunQualitative(items []*model.Item, m model.Metric, ks []int, selectors []baselines.Selector) []QualRow {
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	}
+	if len(selectors) == 0 {
+		selectors = append([]baselines.Selector{GreedySelector{Metric: m}}, baselines.All()...)
+	}
+	// Selectors whose summary is a prefix of one fixed ranking
+	// (TextRank, LexRank, LSA) are ranked once per item and sliced per
+	// k; the others run per (item, k).
+	type rankKey struct {
+		sel  int
+		item int
+	}
+	rankings := map[rankKey][]int{}
+	for si, sel := range selectors {
+		ranker, ok := sel.(baselines.Ranker)
+		if !ok {
+			continue
+		}
+		for ii, item := range items {
+			rankings[rankKey{si, ii}] = ranker.RankSentences(item)
+		}
+	}
+	var rows []QualRow
+	for _, k := range ks {
+		for si, sel := range selectors {
+			row := QualRow{Method: sel.Name(), K: k, Items: len(items)}
+			for ii, item := range items {
+				var chosen []int
+				if ranking, ok := rankings[rankKey{si, ii}]; ok {
+					kk := k
+					if kk > len(ranking) {
+						kk = len(ranking)
+					}
+					chosen = ranking[:kk]
+				} else {
+					chosen = sel.SelectSentences(item, k)
+				}
+				F := SummaryPairs(item, chosen)
+				P := item.Pairs()
+				row.SentErr += SentErr(m.Ont, F, P, false)
+				row.SentErrPenalized += SentErr(m.Ont, F, P, true)
+			}
+			if len(items) > 0 {
+				row.SentErr /= float64(len(items))
+				row.SentErrPenalized /= float64(len(items))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

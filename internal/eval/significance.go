@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"math/rand"
+
+	"osars/internal/baselines"
+	"osars/internal/model"
+)
+
+// PairedBootstrapPValue runs a paired bootstrap test on per-item score
+// vectors a and b (lower is better, len(a) == len(b)): it returns the
+// one-sided p-value for the hypothesis that method A's true mean score
+// is lower than method B's, i.e. the fraction of resamples in which
+// the resampled mean of a fails to beat the resampled mean of b. Small
+// values (< 0.05) mean A's advantage is unlikely to be sampling noise.
+func PairedBootstrapPValue(a, b []float64, iters int, rng *rand.Rand) float64 {
+	if len(a) != len(b) {
+		panic("eval: PairedBootstrapPValue needs paired samples")
+	}
+	n := len(a)
+	if n == 0 {
+		return 1
+	}
+	if iters <= 0 {
+		iters = 10000
+	}
+	// Work on paired differences d = a - b; H1: mean(d) < 0.
+	d := make([]float64, n)
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	fails := 0
+	for it := 0; it < iters; it++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += d[rng.Intn(n)]
+		}
+		if sum >= 0 {
+			fails++
+		}
+	}
+	return float64(fails) / float64(iters)
+}
+
+// PerItemSentErr computes, for each selector, the per-item sent-err at
+// one k — the paired samples PairedBootstrapPValue consumes.
+func PerItemSentErr(items []*model.Item, m model.Metric, k int, selectors []baselines.Selector, penalized bool) map[string][]float64 {
+	out := make(map[string][]float64, len(selectors))
+	for _, sel := range selectors {
+		scores := make([]float64, len(items))
+		for i, item := range items {
+			chosen := sel.SelectSentences(item, k)
+			F := SummaryPairs(item, chosen)
+			scores[i] = SentErr(m.Ont, F, item.Pairs(), penalized)
+		}
+		out[sel.Name()] = scores
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package extract
+
+import (
+	"sort"
+
+	"osars/internal/pos"
+	"osars/internal/sentiment"
+)
+
+// Aspect is an extracted product aspect with its corpus frequency.
+type Aspect struct {
+	Term string
+	Freq int
+}
+
+// FrequentAspects mines aspects the Hu & Liu (2004) way: count nouns
+// and two-token noun phrases across the corpus (one count per
+// sentence), then keep those with at least minSupport sentences,
+// sorted by descending frequency. Sentences are raw token slices.
+func FrequentAspects(sentences [][]string, minSupport int) []Aspect {
+	if minSupport <= 0 {
+		minSupport = 2
+	}
+	counts := map[string]int{}
+	for _, toks := range sentences {
+		tagged := pos.TagSentence(toks)
+		seen := map[string]bool{}
+		for i, tg := range tagged {
+			if tg.Tag != pos.Noun {
+				continue
+			}
+			term := tg.Word
+			// Two-token noun phrase ("battery life", "wait time").
+			if i+1 < len(tagged) && tagged[i+1].Tag == pos.Noun {
+				phrase := term + " " + tagged[i+1].Word
+				if !seen[phrase] {
+					seen[phrase] = true
+					counts[phrase]++
+				}
+			}
+			if !seen[term] {
+				seen[term] = true
+				counts[term]++
+			}
+		}
+	}
+	var out []Aspect
+	for term, n := range counts {
+		if n >= minSupport {
+			out = append(out, Aspect{Term: term, Freq: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// DPOptions tune double propagation.
+type DPOptions struct {
+	// Window is the token distance an opinion↔target relation may
+	// span, standing in for a dependency edge (default 4).
+	Window int
+	// MaxIters caps propagation rounds (default 10; convergence is
+	// typically much faster).
+	MaxIters int
+	// MinSupport drops targets extracted from fewer sentences
+	// (default 2).
+	MinSupport int
+	// MaxAspects keeps only the most frequent extracted aspects, as
+	// the paper keeps "the 100 most popular extracted aspects" (§5.1);
+	// 0 keeps everything.
+	MaxAspects int
+}
+
+// DoublePropagation runs the Qiu et al. (2011) bootstrapping loop over
+// tokenized sentences, seeded with the sentiment package's opinion
+// lexicon:
+//
+//	O→T: a noun near a known opinion word becomes a target;
+//	T→O: an adjective near a known target becomes an opinion word;
+//	T→T: a noun conjoined with a known target becomes a target;
+//	O→O: an adjective conjoined with a known opinion word becomes an
+//	     opinion word.
+//
+// Dependency relations are approximated by an adjacency window, which
+// preserves the propagation dynamics on short review sentences. It
+// returns the extracted aspect terms by descending frequency.
+func DoublePropagation(sentences [][]string, opt DPOptions) []Aspect {
+	if opt.Window <= 0 {
+		opt.Window = 4
+	}
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = 10
+	}
+	if opt.MinSupport <= 0 {
+		opt.MinSupport = 2
+	}
+	opinions := map[string]bool{}
+	for w := range sentiment.SeedOpinionWords() {
+		opinions[w] = true
+	}
+	targets := map[string]bool{}
+
+	tagged := make([][]pos.Tagged, len(sentences))
+	for i, toks := range sentences {
+		tagged[i] = pos.TagSentence(toks)
+	}
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		grew := false
+		for _, sent := range tagged {
+			for i, tg := range sent {
+				switch tg.Tag {
+				case pos.Noun:
+					if targets[tg.Word] {
+						continue
+					}
+					// Opinion-bearing words are never aspect targets,
+					// even when the tagger calls them nouns.
+					if _, isOpinion := sentiment.Polarity(tg.Word); isOpinion {
+						continue
+					}
+					// O→T: opinion word within window.
+					if nearSet(sent, i, opt.Window, opinions, pos.Adj) ||
+						nearSet(sent, i, opt.Window, opinions, pos.Verb) {
+						targets[tg.Word] = true
+						grew = true
+						continue
+					}
+					// T→T: conjoined with a known target.
+					if conjoinedWith(sent, i, targets, pos.Noun) {
+						targets[tg.Word] = true
+						grew = true
+					}
+				case pos.Adj:
+					if opinions[tg.Word] {
+						continue
+					}
+					// T→O: adjective near a known target.
+					if nearSet(sent, i, opt.Window, targets, pos.Noun) {
+						opinions[tg.Word] = true
+						grew = true
+						continue
+					}
+					// O→O: conjoined with a known opinion word.
+					if conjoinedWith(sent, i, opinions, pos.Adj) {
+						opinions[tg.Word] = true
+						grew = true
+					}
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	// Frequency pass: count sentences mentioning each target.
+	counts := map[string]int{}
+	for _, sent := range tagged {
+		seen := map[string]bool{}
+		for _, tg := range sent {
+			if tg.Tag == pos.Noun && targets[tg.Word] && !seen[tg.Word] {
+				seen[tg.Word] = true
+				counts[tg.Word]++
+			}
+		}
+	}
+	var out []Aspect
+	for term, n := range counts {
+		if n >= opt.MinSupport {
+			out = append(out, Aspect{Term: term, Freq: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		return out[i].Term < out[j].Term
+	})
+	if opt.MaxAspects > 0 && len(out) > opt.MaxAspects {
+		out = out[:opt.MaxAspects]
+	}
+	return out
+}
+
+// nearSet reports whether a word of the given tag inside the window
+// around position i belongs to the set.
+func nearSet(sent []pos.Tagged, i, window int, set map[string]bool, tag pos.Tag) bool {
+	lo := i - window
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + window
+	if hi >= len(sent) {
+		hi = len(sent) - 1
+	}
+	for j := lo; j <= hi; j++ {
+		if j == i {
+			continue
+		}
+		if sent[j].Tag == tag && set[sent[j].Word] {
+			return true
+		}
+	}
+	return false
+}
+
+// conjoinedWith reports whether position i is joined by "and"/"or"/","
+// (a Conj tag between them, adjacent on both sides) to a set member of
+// the same tag.
+func conjoinedWith(sent []pos.Tagged, i int, set map[string]bool, tag pos.Tag) bool {
+	// pattern: X conj Y — check both directions.
+	if i >= 2 && sent[i-1].Tag == pos.Conj && sent[i-2].Tag == tag && set[sent[i-2].Word] {
+		return true
+	}
+	if i+2 < len(sent) && sent[i+1].Tag == pos.Conj && sent[i+2].Tag == tag && set[sent[i+2].Word] {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package extract_test
+
+import (
+	"fmt"
+
+	"osars/internal/extract"
+	"osars/internal/ontology"
+	"osars/internal/text"
+)
+
+// Example runs the full §5.1 extraction pipeline: concept matching
+// over an ontology plus sentence-level sentiment.
+func Example() {
+	var b ontology.Builder
+	phone := b.AddConcept("phone")
+	b.Child(phone, "screen", "display")
+	b.Child(phone, "battery")
+	ont, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	p := extract.NewPipeline(extract.NewMatcher(ont), nil)
+	review := p.AnnotateReview("r1", "The display is wonderful. The battery is awful.", 0)
+	for _, pair := range review.Pairs() {
+		fmt.Printf("%s = %+.2f\n", ont.Name(pair.Concept), pair.Sentiment)
+	}
+	// Output:
+	// screen = +1.00
+	// battery = -1.00
+}
+
+// ExampleDoublePropagation bootstraps aspects from opinion-word seeds.
+func ExampleDoublePropagation() {
+	sentences := [][]string{
+		text.Tokenize("the camera is great"),
+		text.Tokenize("great camera indeed"),
+		text.Tokenize("the speaker is terrible"),
+		text.Tokenize("terrible speaker quality"),
+	}
+	for _, a := range extract.DoublePropagation(sentences, extract.DPOptions{MinSupport: 2}) {
+		fmt.Printf("%s (%d mentions)\n", a.Term, a.Freq)
+	}
+	// Output:
+	// camera (2 mentions)
+	// speaker (2 mentions)
+}
+
+// ExampleInduceHierarchy turns a flat aspect list into a hierarchy by
+// the token-subset rule (automating the paper's manual Fig 3 step).
+func ExampleInduceHierarchy() {
+	ont, err := extract.InduceHierarchy("phone", []extract.Aspect{
+		{Term: "screen", Freq: 100},
+		{Term: "screen resolution", Freq: 40},
+		{Term: "battery", Freq: 90},
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, _ := ont.Lookup("screen resolution")
+	scr, _ := ont.Lookup("screen")
+	fmt.Println("screen is parent of screen resolution:", ont.UpDistance(res, scr) == 1)
+	// Output: screen is parent of screen resolution: true
+}

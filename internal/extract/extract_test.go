@@ -1,0 +1,267 @@
+package extract
+
+import (
+	"testing"
+
+	"osars/internal/model"
+	"osars/internal/ontology"
+	"osars/internal/sentiment"
+	"osars/internal/text"
+)
+
+func phoneOnt(t testing.TB) (*ontology.Ontology, map[string]ontology.ConceptID) {
+	t.Helper()
+	var b ontology.Builder
+	ids := map[string]ontology.ConceptID{}
+	ids["phone"] = b.AddConcept("phone")
+	ids["screen"] = b.Child(ids["phone"], "screen", "display")
+	ids["screen resolution"] = b.Child(ids["screen"], "screen resolution", "resolution")
+	ids["battery"] = b.Child(ids["phone"], "battery")
+	ids["battery life"] = b.Child(ids["battery"], "battery life")
+	ids["price"] = b.Child(ids["phone"], "price", "cost")
+	o, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, ids
+}
+
+func TestMatcherSingleAndSynonym(t *testing.T) {
+	o, ids := phoneOnt(t)
+	m := NewMatcher(o)
+	got := m.MatchText("The display is bright")
+	if len(got) != 1 || got[0].Concept != ids["screen"] {
+		t.Fatalf("matches = %v, want [screen]", got)
+	}
+	got = m.MatchText("the cost was high")
+	if len(got) != 1 || got[0].Concept != ids["price"] {
+		t.Fatalf("matches = %v, want [price]", got)
+	}
+}
+
+func TestMatcherLongestMatchWins(t *testing.T) {
+	o, ids := phoneOnt(t)
+	m := NewMatcher(o)
+	got := m.MatchText("great battery life overall")
+	if len(got) != 1 || got[0].Concept != ids["battery life"] {
+		t.Fatalf("matches = %v, want [battery life]", got)
+	}
+	if got[0].Start != 1 || got[0].End != 3 {
+		t.Fatalf("span = [%d,%d), want [1,3)", got[0].Start, got[0].End)
+	}
+}
+
+func TestMatcherMultipleMatches(t *testing.T) {
+	o, ids := phoneOnt(t)
+	m := NewMatcher(o)
+	got := m.MatchText("screen is great but the battery is bad")
+	if len(got) != 2 || got[0].Concept != ids["screen"] || got[1].Concept != ids["battery"] {
+		t.Fatalf("matches = %v", got)
+	}
+}
+
+func TestMatcherRootNotIndexed(t *testing.T) {
+	o, _ := phoneOnt(t)
+	m := NewMatcher(o)
+	if got := m.MatchText("I like this phone"); len(got) != 0 {
+		t.Fatalf("root concept matched: %v", got)
+	}
+}
+
+func TestMatcherNoMatch(t *testing.T) {
+	o, _ := phoneOnt(t)
+	m := NewMatcher(o)
+	if got := m.MatchText("arrived quickly in nice packaging"); len(got) != 0 {
+		t.Fatalf("unexpected matches: %v", got)
+	}
+	if got := m.MatchTokens(nil); len(got) != 0 {
+		t.Fatalf("nil tokens matched: %v", got)
+	}
+}
+
+func TestFrequentAspects(t *testing.T) {
+	sentences := [][]string{
+		text.Tokenize("the battery is great"),
+		text.Tokenize("battery drains fast"),
+		text.Tokenize("the screen is bright"),
+		text.Tokenize("love the screen"),
+		text.Tokenize("screen and battery are fine"),
+		text.Tokenize("shipping was slow"),
+	}
+	aspects := FrequentAspects(sentences, 2)
+	if len(aspects) < 2 {
+		t.Fatalf("aspects = %v", aspects)
+	}
+	if aspects[0].Term != "battery" && aspects[0].Term != "screen" {
+		t.Fatalf("top aspect = %v", aspects[0])
+	}
+	for _, a := range aspects {
+		if a.Term == "shipping" {
+			t.Fatal("minSupport 2 should drop single-mention 'shipping'")
+		}
+		if a.Freq < 2 {
+			t.Fatalf("aspect below support: %v", a)
+		}
+	}
+}
+
+func TestFrequentAspectsNounPhrases(t *testing.T) {
+	sentences := [][]string{
+		text.Tokenize("battery life is great"),
+		text.Tokenize("the battery life disappoints"),
+	}
+	aspects := FrequentAspects(sentences, 2)
+	found := false
+	for _, a := range aspects {
+		if a.Term == "battery life" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("noun phrase missing: %v", aspects)
+	}
+}
+
+func TestDoublePropagationExtractsSeededTargets(t *testing.T) {
+	sentences := [][]string{
+		text.Tokenize("the camera is great"),
+		text.Tokenize("great camera indeed"),
+		text.Tokenize("the speaker is terrible"),
+		text.Tokenize("terrible speaker quality"),
+	}
+	aspects := DoublePropagation(sentences, DPOptions{MinSupport: 2})
+	got := map[string]bool{}
+	for _, a := range aspects {
+		got[a.Term] = true
+	}
+	if !got["camera"] || !got["speaker"] {
+		t.Fatalf("aspects = %v, want camera and speaker", aspects)
+	}
+}
+
+func TestDoublePropagationBootstrapsNewOpinionWords(t *testing.T) {
+	// "glorious" is not in the seed lexicon (but the -ous suffix tags
+	// it Adj); it must be learned from "glorious processor" after
+	// "processor" becomes a target via "great processor", and then
+	// extract "modem" from "glorious modem".
+	sentences := [][]string{
+		text.Tokenize("a great processor"),
+		text.Tokenize("such a glorious processor"),
+		text.Tokenize("the glorious modem"),
+		text.Tokenize("glorious modem indeed"),
+		text.Tokenize("great processor again"),
+	}
+	aspects := DoublePropagation(sentences, DPOptions{MinSupport: 2})
+	got := map[string]bool{}
+	for _, a := range aspects {
+		got[a.Term] = true
+	}
+	if !got["processor"] {
+		t.Fatalf("aspects = %v, want processor", aspects)
+	}
+	if !got["modem"] {
+		t.Fatalf("aspects = %v, want modem via O→O/T→O propagation", aspects)
+	}
+}
+
+func TestDoublePropagationConjunctionRule(t *testing.T) {
+	sentences := [][]string{
+		text.Tokenize("the camera is great"),
+		text.Tokenize("the camera and flashlight"),
+		text.Tokenize("camera or flashlight"),
+	}
+	aspects := DoublePropagation(sentences, DPOptions{MinSupport: 2})
+	got := map[string]bool{}
+	for _, a := range aspects {
+		got[a.Term] = true
+	}
+	if !got["flashlight"] {
+		t.Fatalf("aspects = %v, want flashlight via T→T", aspects)
+	}
+}
+
+func TestDoublePropagationMaxAspects(t *testing.T) {
+	sentences := [][]string{
+		text.Tokenize("great camera great speaker great screen"),
+		text.Tokenize("great camera great speaker great screen"),
+	}
+	aspects := DoublePropagation(sentences, DPOptions{MinSupport: 2, MaxAspects: 1})
+	if len(aspects) != 1 {
+		t.Fatalf("MaxAspects not applied: %v", aspects)
+	}
+}
+
+func TestPipelineAnnotate(t *testing.T) {
+	o, ids := phoneOnt(t)
+	p := NewPipeline(NewMatcher(o), sentiment.Lexicon{})
+	s := p.AnnotateSentence("The screen is excellent")
+	if len(s.Pairs) != 1 || s.Pairs[0].Concept != ids["screen"] {
+		t.Fatalf("pairs = %v", s.Pairs)
+	}
+	if s.Pairs[0].Sentiment <= 0 {
+		t.Fatalf("sentiment = %v, want positive", s.Pairs[0].Sentiment)
+	}
+
+	r := p.AnnotateReview("r1", "The screen is excellent. The battery is awful. Arrived fast.", 0.5)
+	if len(r.Sentences) != 3 {
+		t.Fatalf("sentences = %d, want 3", len(r.Sentences))
+	}
+	pairs := r.Pairs()
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v, want 2", pairs)
+	}
+	if pairs[0].Sentiment <= 0 || pairs[1].Sentiment >= 0 {
+		t.Fatalf("sentiments = %v", pairs)
+	}
+	if r.Rating != 0.5 || r.ID != "r1" {
+		t.Fatal("review metadata lost")
+	}
+}
+
+func TestPipelineDefaultsToLexicon(t *testing.T) {
+	o, _ := phoneOnt(t)
+	p := NewPipeline(NewMatcher(o), nil)
+	if p.Estimator == nil {
+		t.Fatal("nil estimator not defaulted")
+	}
+}
+
+func TestPipelineAnnotateItem(t *testing.T) {
+	o, _ := phoneOnt(t)
+	p := NewPipeline(NewMatcher(o), nil)
+	item := p.AnnotateItem("p1", "SuperPhone", []RawReview{
+		{ID: "r1", Text: "Great screen. Bad battery.", Rating: 0.0},
+		{ID: "r2", Text: "The price is excellent!", Rating: 1.0},
+	})
+	if item.ID != "p1" || len(item.Reviews) != 2 {
+		t.Fatalf("item = %+v", item)
+	}
+	if got := len(item.Pairs()); got != 3 {
+		t.Fatalf("item pairs = %d, want 3", got)
+	}
+	var _ *model.Item = item
+}
+
+func TestMatcherStemmedVariants(t *testing.T) {
+	o, ids := phoneOnt(t)
+	exact := NewMatcher(o)
+	stemmed := NewMatcherWithOptions(o, MatcherOptions{Stem: true})
+	// Plural form: exact matcher misses, stemmed matcher hits.
+	if got := exact.MatchText("both batteries died"); len(got) != 0 {
+		t.Fatalf("exact matcher matched plural: %v", got)
+	}
+	got := stemmed.MatchText("both batteries died")
+	if len(got) != 1 || got[0].Concept != ids["battery"] {
+		t.Fatalf("stemmed matcher = %v, want battery", got)
+	}
+	// Multi-word phrase with inflection.
+	got = stemmed.MatchText("the screens resolution impressed me")
+	if len(got) == 0 {
+		t.Fatalf("stemmed phrase match failed")
+	}
+	// Exact forms still work under stemming.
+	got = stemmed.MatchText("battery life is fine")
+	if len(got) != 1 || got[0].Concept != ids["battery life"] {
+		t.Fatalf("stemmed matcher on exact phrase = %v", got)
+	}
+}

@@ -1,0 +1,94 @@
+package extract
+
+import (
+	"sort"
+	"strings"
+
+	"osars/internal/ontology"
+	"osars/internal/text"
+)
+
+// InduceHierarchy builds an aspect hierarchy from a flat extracted
+// aspect list, automating what the paper did by hand for Fig 3 ("since
+// there is no available hierarchy of cell phone aspects, we manually
+// built a hierarchy from the extracted aspects", §5.1). The rule
+// mirrors the manual construction: aspect A is an ancestor of aspect B
+// when A's token set is a proper subset of B's ("screen" ⊂ "screen
+// resolution"); each aspect attaches to its most specific such subset
+// aspect (ties broken by corpus frequency), or to the root when none
+// exists.
+//
+// The result is always a valid rooted DAG (in fact a tree) accepted by
+// the rest of the pipeline.
+func InduceHierarchy(rootName string, aspects []Aspect) (*ontology.Ontology, error) {
+	var b ontology.Builder
+	root := b.AddConcept(rootName)
+
+	type node struct {
+		aspect Aspect
+		tokens map[string]bool
+		id     ontology.ConceptID
+	}
+	nodes := make([]node, 0, len(aspects))
+	seen := map[string]bool{}
+	for _, a := range aspects {
+		norm := strings.Join(text.Tokenize(a.Term), " ")
+		if norm == "" || seen[norm] {
+			continue
+		}
+		seen[norm] = true
+		toks := map[string]bool{}
+		for _, t := range strings.Fields(norm) {
+			toks[t] = true
+		}
+		nodes = append(nodes, node{aspect: Aspect{Term: norm, Freq: a.Freq}, tokens: toks})
+	}
+
+	// Shorter aspects first, so parents exist before children attach;
+	// ties by frequency then name for determinism.
+	sort.SliceStable(nodes, func(i, j int) bool {
+		if len(nodes[i].tokens) != len(nodes[j].tokens) {
+			return len(nodes[i].tokens) < len(nodes[j].tokens)
+		}
+		if nodes[i].aspect.Freq != nodes[j].aspect.Freq {
+			return nodes[i].aspect.Freq > nodes[j].aspect.Freq
+		}
+		return nodes[i].aspect.Term < nodes[j].aspect.Term
+	})
+
+	for i := range nodes {
+		nodes[i].id = b.AddConcept(nodes[i].aspect.Term)
+		// Most specific already-added proper-subset aspect.
+		best := -1
+		for j := 0; j < i; j++ {
+			if len(nodes[j].tokens) >= len(nodes[i].tokens) {
+				continue
+			}
+			if !isSubset(nodes[j].tokens, nodes[i].tokens) {
+				continue
+			}
+			if best < 0 ||
+				len(nodes[j].tokens) > len(nodes[best].tokens) ||
+				(len(nodes[j].tokens) == len(nodes[best].tokens) && nodes[j].aspect.Freq > nodes[best].aspect.Freq) {
+				best = j
+			}
+		}
+		parent := root
+		if best >= 0 {
+			parent = nodes[best].id
+		}
+		if err := b.AddEdge(parent, nodes[i].id); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+func isSubset(a, b map[string]bool) bool {
+	for t := range a {
+		if !b[t] {
+			return false
+		}
+	}
+	return true
+}

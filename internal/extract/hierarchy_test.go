@@ -1,0 +1,123 @@
+package extract
+
+import (
+	"testing"
+
+	"osars/internal/dataset"
+	"osars/internal/text"
+)
+
+func TestInduceHierarchySubsetRule(t *testing.T) {
+	aspects := []Aspect{
+		{Term: "screen", Freq: 100},
+		{Term: "screen resolution", Freq: 40},
+		{Term: "battery", Freq: 90},
+		{Term: "battery life", Freq: 60},
+		{Term: "price", Freq: 50},
+	}
+	ont, err := InduceHierarchy("phone", aspects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ont.Len() != 6 {
+		t.Fatalf("concepts = %d, want 6", ont.Len())
+	}
+	check := func(parent, child string) {
+		t.Helper()
+		p, ok := ont.Lookup(parent)
+		if !ok {
+			t.Fatalf("concept %q missing", parent)
+		}
+		c, ok := ont.Lookup(child)
+		if !ok {
+			t.Fatalf("concept %q missing", child)
+		}
+		if d := ont.UpDistance(c, p); d != 1 {
+			t.Fatalf("%q should be direct parent of %q (distance %d)", parent, child, d)
+		}
+	}
+	check("phone", "screen")
+	check("screen", "screen resolution")
+	check("battery", "battery life")
+	check("phone", "price")
+}
+
+func TestInduceHierarchyMostSpecificParent(t *testing.T) {
+	aspects := []Aspect{
+		{Term: "camera", Freq: 50},
+		{Term: "front camera", Freq: 30},
+		{Term: "front camera lens", Freq: 10},
+	}
+	ont, err := InduceHierarchy("phone", aspects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lens, _ := ont.Lookup("front camera lens")
+	front, _ := ont.Lookup("front camera")
+	cam, _ := ont.Lookup("camera")
+	if ont.UpDistance(lens, front) != 1 {
+		t.Fatal("lens should attach to 'front camera', the most specific subset")
+	}
+	if ont.UpDistance(lens, cam) != 2 {
+		t.Fatal("lens should reach 'camera' through 'front camera'")
+	}
+}
+
+func TestInduceHierarchyDeduplicatesAndNormalizes(t *testing.T) {
+	aspects := []Aspect{
+		{Term: "Screen", Freq: 10},
+		{Term: "screen ", Freq: 5},
+		{Term: "", Freq: 3},
+	}
+	ont, err := InduceHierarchy("phone", aspects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ont.Len() != 2 {
+		t.Fatalf("concepts = %d, want root + screen", ont.Len())
+	}
+}
+
+func TestInduceHierarchyEmpty(t *testing.T) {
+	ont, err := InduceHierarchy("phone", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ont.Len() != 1 {
+		t.Fatalf("empty induction = %d concepts", ont.Len())
+	}
+}
+
+func TestInduceHierarchyEndToEnd(t *testing.T) {
+	// Extract aspects from a generated corpus with double propagation,
+	// induce a hierarchy, and verify the result is usable by the
+	// matcher pipeline.
+	c := dataset.Generate(dataset.SmallCellPhoneConfig(3))
+	var sentences [][]string
+	for _, it := range c.Items[:3] {
+		for _, r := range it.Reviews {
+			for _, s := range text.SplitSentences(r.Text) {
+				sentences = append(sentences, text.Tokenize(s))
+			}
+		}
+	}
+	aspects := DoublePropagation(sentences, DPOptions{MinSupport: 3, MaxAspects: 100})
+	if len(aspects) < 10 {
+		t.Fatalf("too few aspects extracted: %d", len(aspects))
+	}
+	ont, err := InduceHierarchy("phone", aspects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ont.Len() < 10 {
+		t.Fatalf("induced ontology too small: %v", ont)
+	}
+	m := NewMatcher(ont)
+	found := 0
+	for _, s := range sentences[:200] {
+		found += len(m.MatchTokens(s))
+	}
+	if found == 0 {
+		t.Fatal("induced hierarchy matches nothing in its own corpus")
+	}
+}

@@ -1,0 +1,155 @@
+// Package extract turns raw review text into the concept-sentiment
+// pairs the summarization framework consumes (§2 task (a), §5.1).
+//
+// Three extractors are provided, mirroring the paper's setup:
+//
+//   - Matcher: a trie-based longest-match dictionary annotator over an
+//     ontology's concept names and synonyms — the stand-in for MetaMap
+//     over SNOMED CT in the doctor-review pipeline;
+//   - DoublePropagation: the Qiu et al. (2011) bootstrapping aspect
+//     extractor used for the cell-phone pipeline;
+//   - FrequentAspects: the Hu & Liu (2004) frequency miner, used by
+//     the "most popular" baseline and as a DP fallback.
+//
+// Pipeline composes a matcher with a sentiment estimator to produce
+// model.Item values ready for coverage-graph construction.
+package extract
+
+import (
+	"osars/internal/ontology"
+	"osars/internal/text"
+)
+
+// trieNode is one node of the token trie.
+type trieNode struct {
+	children map[string]*trieNode
+	// concept is the concept ending at this node (None if internal).
+	concept ontology.ConceptID
+}
+
+// Matcher annotates token streams with ontology concepts by greedy
+// longest match over concept names and synonyms. Matching is
+// case-insensitive and token-based; multi-word concepts ("display
+// color", "wait time") match as phrases. Safe for concurrent use after
+// construction.
+type Matcher struct {
+	ont  *ontology.Ontology
+	root *trieNode
+	// maxLen is the longest phrase in tokens, bounding lookahead.
+	maxLen int
+	// stem normalizes tokens with the Porter stemmer on both sides,
+	// so "batteries" matches the "battery" concept — the equivalent of
+	// MetaMap's lexical-variant matching.
+	stem bool
+}
+
+// MatcherOptions configure NewMatcherWithOptions.
+type MatcherOptions struct {
+	// Stem enables Porter-stemmed matching ("batteries" → "battery").
+	Stem bool
+}
+
+// NewMatcher indexes every concept name and synonym of the ontology
+// with exact-token matching. The root concept itself is not indexed: a
+// review mentioning the domain ("this phone") carries no aspect
+// information.
+func NewMatcher(ont *ontology.Ontology) *Matcher {
+	return NewMatcherWithOptions(ont, MatcherOptions{})
+}
+
+// NewMatcherWithOptions is NewMatcher with configurable normalization.
+func NewMatcherWithOptions(ont *ontology.Ontology, opt MatcherOptions) *Matcher {
+	m := &Matcher{ont: ont, root: &trieNode{concept: ontology.None}, stem: opt.Stem}
+	for id := ontology.ConceptID(0); int(id) < ont.Len(); id++ {
+		if id == ont.Root() {
+			continue
+		}
+		m.index(ont.Name(id), id)
+		for _, syn := range ont.Synonyms(id) {
+			m.index(syn, id)
+		}
+	}
+	return m
+}
+
+func (m *Matcher) norm(tok string) string {
+	if m.stem {
+		return text.Stem(tok)
+	}
+	return tok
+}
+
+func (m *Matcher) index(phrase string, id ontology.ConceptID) {
+	tokens := text.Tokenize(phrase)
+	for i, t := range tokens {
+		tokens[i] = m.norm(t)
+	}
+	if len(tokens) == 0 {
+		return
+	}
+	if len(tokens) > m.maxLen {
+		m.maxLen = len(tokens)
+	}
+	node := m.root
+	for _, tok := range tokens {
+		if node.children == nil {
+			node.children = make(map[string]*trieNode)
+		}
+		next, ok := node.children[tok]
+		if !ok {
+			next = &trieNode{concept: ontology.None}
+			node.children[tok] = next
+		}
+		node = next
+	}
+	// First indexing wins; a synonym shared by two concepts keeps the
+	// earlier (more general, since parents are added first) concept.
+	if node.concept == ontology.None {
+		node.concept = id
+	}
+}
+
+// Match is one concept occurrence in a token stream.
+type Match struct {
+	Concept ontology.ConceptID
+	// Start and End delimit the matched tokens [Start, End).
+	Start, End int
+}
+
+// MatchTokens scans a tokenized sentence left to right, emitting the
+// longest concept match at each position (overlapping shorter matches
+// are suppressed, as in MetaMap's longest-spanning-candidate default).
+func (m *Matcher) MatchTokens(tokens []string) []Match {
+	var out []Match
+	for i := 0; i < len(tokens); {
+		node := m.root
+		bestEnd := -1
+		best := ontology.None
+		for j := i; j < len(tokens) && j-i < m.maxLen; j++ {
+			next, ok := node.children[m.norm(tokens[j])]
+			if !ok {
+				break
+			}
+			node = next
+			if node.concept != ontology.None {
+				best = node.concept
+				bestEnd = j + 1
+			}
+		}
+		if best != ontology.None {
+			out = append(out, Match{Concept: best, Start: i, End: bestEnd})
+			i = bestEnd
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// MatchText tokenizes and matches raw text.
+func (m *Matcher) MatchText(s string) []Match {
+	return m.MatchTokens(text.Tokenize(s))
+}
+
+// Ontology returns the ontology the matcher was built over.
+func (m *Matcher) Ontology() *ontology.Ontology { return m.ont }

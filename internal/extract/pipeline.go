@@ -1,0 +1,67 @@
+package extract
+
+import (
+	"osars/internal/model"
+	"osars/internal/sentiment"
+	"osars/internal/text"
+)
+
+// Pipeline composes sentence splitting, concept matching and sentence
+// sentiment estimation into the review → concept-sentiment-pairs
+// mapping of §5.1: "to compute the sentiment around a concept, we
+// compute the sentiment of the containing sentence and assign this
+// sentiment to the concept."
+type Pipeline struct {
+	Matcher   *Matcher
+	Estimator sentiment.Estimator
+}
+
+// NewPipeline wires a matcher with an estimator. A nil estimator
+// defaults to the unsupervised lexicon scorer.
+func NewPipeline(m *Matcher, e sentiment.Estimator) *Pipeline {
+	if e == nil {
+		e = sentiment.Lexicon{}
+	}
+	return &Pipeline{Matcher: m, Estimator: e}
+}
+
+// AnnotateSentence extracts the pairs of one raw sentence.
+func (p *Pipeline) AnnotateSentence(raw string) model.Sentence {
+	tokens := text.Tokenize(raw)
+	s := model.Sentence{Text: raw}
+	matches := p.Matcher.MatchTokens(tokens)
+	if len(matches) == 0 {
+		return s
+	}
+	score := p.Estimator.EstimateSentence(tokens)
+	for _, mt := range matches {
+		s.Pairs = append(s.Pairs, model.Pair{Concept: mt.Concept, Sentiment: score})
+	}
+	return s
+}
+
+// AnnotateReview splits raw review text into sentences and annotates
+// each. rating is the review's star rating normalized to [-1, +1].
+func (p *Pipeline) AnnotateReview(id, raw string, rating float64) model.Review {
+	r := model.Review{ID: id, Rating: rating}
+	for _, sent := range text.SplitSentences(raw) {
+		r.Sentences = append(r.Sentences, p.AnnotateSentence(sent))
+	}
+	return r
+}
+
+// RawReview is one unprocessed review.
+type RawReview struct {
+	ID     string
+	Text   string
+	Rating float64
+}
+
+// AnnotateItem builds the full model.Item from raw reviews.
+func (p *Pipeline) AnnotateItem(id, name string, reviews []RawReview) *model.Item {
+	item := &model.Item{ID: id, Name: name}
+	for _, rr := range reviews {
+		item.Reviews = append(item.Reviews, p.AnnotateReview(rr.ID, rr.Text, rr.Rating))
+	}
+	return item
+}

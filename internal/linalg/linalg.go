@@ -1,0 +1,333 @@
+// Package linalg provides the small dense linear-algebra kernel the
+// baselines and the sentiment estimator need: matrices, one-sided
+// Jacobi SVD (for the LSA summarizer), PageRank power iteration (for
+// TextRank/LexRank) and a conjugate-gradient solver (for ridge
+// regression). Everything is stdlib-only and deterministic.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: NewMatrix(%d, %d)", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// MulVec computes dst = M·x. dst must have length Rows, x length Cols.
+func (m *Matrix) MulVec(x, dst []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// Mul returns M·B as a new matrix.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic("linalg: Mul dimension mismatch")
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for kk, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.Row(kk)
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out
+}
+
+// Dot returns x·y.
+func Dot(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns ‖x‖₂.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Axpy computes y += a·x in place.
+func Axpy(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// SVDResult holds a thin singular value decomposition A = U·diag(S)·Vᵀ
+// with singular values sorted in descending order. U is m×r, V is n×r
+// where r = min(m, n).
+type SVDResult struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SVD computes the thin SVD of A by one-sided Jacobi rotations
+// (Hestenes method). It is O(mn²·sweeps) and intended for the modest
+// term-sentence matrices of the LSA baseline, not for large-scale use.
+func SVD(a *Matrix) *SVDResult {
+	transposed := false
+	work := a.Clone()
+	if work.Rows < work.Cols {
+		work = work.T()
+		transposed = true
+	}
+	m, n := work.Rows, work.Cols
+
+	// Column-major copy for cache-friendly column ops.
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		cols[j] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			cols[j][i] = work.At(i, j)
+		}
+	}
+	v := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		v.Set(j, j, 1)
+	}
+
+	const maxSweeps = 60
+	const eps = 1e-12
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha := Dot(cols[p], cols[p])
+				beta := Dot(cols[q], cols[q])
+				gamma := Dot(cols[p], cols[q])
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				off += gamma * gamma
+				// Jacobi rotation zeroing the (p,q) inner product.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := sign(zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					cp, cq := cols[p][i], cols[q][i]
+					cols[p][i] = c*cp - s*cq
+					cols[q][i] = s*cp + c*cq
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off < eps {
+			break
+		}
+	}
+
+	// Singular values and left vectors.
+	s := make([]float64, n)
+	u := NewMatrix(m, n)
+	order := make([]int, n)
+	for j := 0; j < n; j++ {
+		s[j] = Norm2(cols[j])
+		order[j] = j
+	}
+	// Sort descending by singular value (stable insertion sort: n is
+	// small).
+	for i := 1; i < n; i++ {
+		for k := i; k > 0 && s[order[k]] > s[order[k-1]]; k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+	sorted := make([]float64, n)
+	vOut := NewMatrix(n, n)
+	for rank, j := range order {
+		sorted[rank] = s[j]
+		if s[j] > 1e-300 {
+			inv := 1 / s[j]
+			for i := 0; i < m; i++ {
+				u.Set(i, rank, cols[j][i]*inv)
+			}
+		}
+		for i := 0; i < n; i++ {
+			vOut.Set(i, rank, v.At(i, j))
+		}
+	}
+
+	if transposed {
+		// A = (U S Vᵀ)ᵀ of the transposed problem: swap U and V.
+		return &SVDResult{U: vOut, S: sorted, V: u}
+	}
+	return &SVDResult{U: u, S: sorted, V: vOut}
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// PageRank runs power iteration on a weighted undirected (or directed)
+// graph given as an adjacency matrix W, where W[i][j] ≥ 0 is the weight
+// of the edge from i to j. It returns the stationary scores of the
+// damped random walk used by TextRank and LexRank:
+//
+//	r_i = (1−d)/n + d·Σ_j W_ji·r_j / outWeight_j
+//
+// Dangling nodes (zero out-weight) distribute uniformly.
+func PageRank(w *Matrix, damping, tol float64, maxIter int) []float64 {
+	if w.Rows != w.Cols {
+		panic("linalg: PageRank needs a square matrix")
+	}
+	n := w.Rows
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := w.Row(i)
+		s := 0.0
+		for _, v := range row {
+			if v < 0 {
+				panic("linalg: PageRank weights must be nonnegative")
+			}
+			s += v
+		}
+		out[i] = s
+	}
+	r := make([]float64, n)
+	next := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		base := (1 - damping) / float64(n)
+		dangling := 0.0
+		for j := 0; j < n; j++ {
+			if out[j] == 0 {
+				dangling += r[j]
+			}
+		}
+		base += damping * dangling / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for j := 0; j < n; j++ {
+			if out[j] == 0 {
+				continue
+			}
+			share := damping * r[j] / out[j]
+			row := w.Row(j)
+			for i, v := range row {
+				if v != 0 {
+					next[i] += share * v
+				}
+			}
+		}
+		diff := 0.0
+		for i := range r {
+			diff += math.Abs(next[i] - r[i])
+		}
+		r, next = next, r
+		if diff < tol {
+			break
+		}
+	}
+	return r
+}
+
+// CG solves the symmetric positive-definite system A·x = b by the
+// conjugate-gradient method, where apply computes dst = A·x without
+// materializing A. It returns after maxIter iterations or when the
+// residual norm falls below tol·‖b‖.
+func CG(apply func(x, dst []float64), b []float64, tol float64, maxIter int) []float64 {
+	n := len(b)
+	x := make([]float64, n)
+	r := append([]float64(nil), b...) // r = b - A·0
+	p := append([]float64(nil), b...)
+	ap := make([]float64, n)
+	rs := Dot(r, r)
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		return x
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		if math.Sqrt(rs) <= tol*bnorm {
+			break
+		}
+		apply(p, ap)
+		alpha := rs / Dot(p, ap)
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		rsNew := Dot(r, r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return x
+}

@@ -1,0 +1,299 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 2)
+	m.Add(1, 1, 3)
+	if m.At(0, 2) != 2 || m.At(1, 1) != 3 {
+		t.Fatal("Set/Add/At wrong")
+	}
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 0) != 2 || tr.At(1, 1) != 3 {
+		t.Fatal("transpose wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMulVecAndMul(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 0, -1}
+	dst := make([]float64, 2)
+	a.MulVec(x, dst)
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", dst)
+	}
+	b := NewMatrix(3, 2)
+	copy(b.Data, []float64{1, 0, 0, 1, 1, 1})
+	c := a.Mul(b)
+	want := []float64{4, 5, 10, 11}
+	for i, v := range want {
+		if math.Abs(c.Data[i]-v) > 1e-12 {
+			t.Fatalf("Mul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	x := []float64{3, 4}
+	if Dot(x, x) != 25 || Norm2(x) != 5 {
+		t.Fatal("Dot/Norm2 wrong")
+	}
+	y := []float64{1, 1}
+	Axpy(2, x, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Fatalf("Scale = %v", y)
+	}
+}
+
+func checkSVD(t *testing.T, a *Matrix) {
+	t.Helper()
+	res := SVD(a)
+	r := len(res.S)
+	if res.U.Rows != a.Rows || res.U.Cols != r || res.V.Rows != a.Cols || res.V.Cols != r {
+		t.Fatalf("SVD shapes wrong: U %dx%d V %dx%d r %d", res.U.Rows, res.U.Cols, res.V.Rows, res.V.Cols, r)
+	}
+	// Singular values sorted descending and nonnegative.
+	for i := 0; i < r; i++ {
+		if res.S[i] < -1e-12 {
+			t.Fatalf("negative singular value %v", res.S[i])
+		}
+		if i > 0 && res.S[i] > res.S[i-1]+1e-9 {
+			t.Fatalf("singular values not sorted: %v", res.S)
+		}
+	}
+	// Reconstruction: A ≈ U·diag(S)·Vᵀ.
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			s := 0.0
+			for k := 0; k < r; k++ {
+				s += res.U.At(i, k) * res.S[k] * res.V.At(j, k)
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-7*(1+math.Abs(a.At(i, j))) {
+				t.Fatalf("reconstruction (%d,%d) = %v, want %v", i, j, s, a.At(i, j))
+			}
+		}
+	}
+	// Orthonormal columns of V (always square n×r with r = min(m,n) ≤ n).
+	for p := 0; p < r; p++ {
+		for q := p; q < r; q++ {
+			s := 0.0
+			for i := 0; i < res.V.Rows; i++ {
+				s += res.V.At(i, p) * res.V.At(i, q)
+			}
+			want := 0.0
+			if p == q {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-8 {
+				t.Fatalf("VᵀV(%d,%d) = %v, want %v", p, q, s, want)
+			}
+		}
+	}
+}
+
+func TestSVDKnown(t *testing.T) {
+	// diag(3, 2) embedded in 2×2.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 2)
+	res := SVD(a)
+	if math.Abs(res.S[0]-3) > 1e-10 || math.Abs(res.S[1]-2) > 1e-10 {
+		t.Fatalf("S = %v, want [3 2]", res.S)
+	}
+	checkSVD(t, a)
+}
+
+func TestSVDTallAndWide(t *testing.T) {
+	tall := NewMatrix(5, 3)
+	rng := rand.New(rand.NewSource(1))
+	for i := range tall.Data {
+		tall.Data[i] = rng.NormFloat64()
+	}
+	checkSVD(t, tall)
+	wide := tall.T()
+	checkSVD(t, wide)
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: second singular value must be ~0.
+	a := NewMatrix(3, 3)
+	u := []float64{1, 2, 3}
+	v := []float64{4, 5, 6}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, u[i]*v[j])
+		}
+	}
+	res := SVD(a)
+	if res.S[1] > 1e-8 || res.S[2] > 1e-8 {
+		t.Fatalf("rank-1 matrix has S = %v", res.S)
+	}
+	checkSVD(t, a)
+}
+
+func TestQuickSVDReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = math.Round(rng.NormFloat64()*100) / 100
+		}
+		res := SVD(a)
+		r := len(res.S)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < r; k++ {
+					s += res.U.At(i, k) * res.S[k] * res.V.At(j, k)
+				}
+				if math.Abs(s-a.At(i, j)) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankUniformOnSymmetric(t *testing.T) {
+	// Complete graph with equal weights → uniform ranks.
+	n := 4
+	w := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				w.Set(i, j, 1)
+			}
+		}
+	}
+	r := PageRank(w, 0.85, 1e-12, 500)
+	for i := 1; i < n; i++ {
+		if math.Abs(r[i]-r[0]) > 1e-9 {
+			t.Fatalf("ranks not uniform: %v", r)
+		}
+	}
+	sum := 0.0
+	for _, v := range r {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v, want 1", sum)
+	}
+}
+
+func TestPageRankHub(t *testing.T) {
+	// Star: center 0 connected to 1,2,3. Center must rank highest.
+	w := NewMatrix(4, 4)
+	for i := 1; i < 4; i++ {
+		w.Set(0, i, 1)
+		w.Set(i, 0, 1)
+	}
+	r := PageRank(w, 0.85, 1e-12, 500)
+	for i := 1; i < 4; i++ {
+		if r[0] <= r[i] {
+			t.Fatalf("hub rank %v not above leaf %v", r[0], r[i])
+		}
+	}
+}
+
+func TestPageRankDangling(t *testing.T) {
+	// Node 1 has no out-edges; ranks must still sum to 1.
+	w := NewMatrix(2, 2)
+	w.Set(0, 1, 1)
+	r := PageRank(w, 0.85, 1e-12, 500)
+	if math.Abs(r[0]+r[1]-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v", r[0]+r[1])
+	}
+	if r[1] <= r[0] {
+		t.Fatalf("sink should outrank source: %v", r)
+	}
+}
+
+func TestPageRankEmptyAndPanics(t *testing.T) {
+	if r := PageRank(NewMatrix(0, 0), 0.85, 1e-9, 10); r != nil {
+		t.Fatal("empty graph should return nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-square")
+		}
+	}()
+	PageRank(NewMatrix(2, 3), 0.85, 1e-9, 10)
+}
+
+func TestCGSolvesSPD(t *testing.T) {
+	// A = [[4,1],[1,3]], b = [1,2] → x = (1/11, 7/11).
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{4, 1, 1, 3})
+	apply := func(x, dst []float64) { a.MulVec(x, dst) }
+	x := CG(apply, []float64{1, 2}, 1e-12, 100)
+	if math.Abs(x[0]-1.0/11) > 1e-9 || math.Abs(x[1]-7.0/11) > 1e-9 {
+		t.Fatalf("CG = %v, want (1/11, 7/11)", x)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	apply := func(x, dst []float64) { copy(dst, x) }
+	x := CG(apply, []float64{0, 0, 0}, 1e-10, 10)
+	for _, v := range x {
+		if v != 0 {
+			t.Fatalf("CG(0) = %v", x)
+		}
+	}
+}
+
+func TestQuickCGRandomSPD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		// A = BᵀB + I is SPD.
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		bt := b.T()
+		a := bt.Mul(b)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 1)
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x := CG(func(v, dst []float64) { a.MulVec(v, dst) }, rhs, 1e-12, 20*n)
+		// Check residual.
+		res := make([]float64, n)
+		a.MulVec(x, res)
+		for i := range res {
+			if math.Abs(res[i]-rhs[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osars/internal/coverage"
+	"osars/internal/model"
+	"osars/internal/ontology"
+)
+
+// randomInstance builds a random DAG ontology plus a pair multiset and
+// returns its pairs-granularity coverage graph.
+func randomInstance(rng *rand.Rand, maxConcepts, maxPairs int) *coverage.Graph {
+	var b ontology.Builder
+	n := 2 + rng.Intn(maxConcepts-1)
+	ids := make([]ontology.ConceptID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddConcept("c" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676)))
+		if i > 0 {
+			b.AddEdge(ids[rng.Intn(i)], ids[i])
+			if i >= 2 && rng.Intn(4) == 0 {
+				b.AddEdge(ids[rng.Intn(i)], ids[i])
+			}
+		}
+	}
+	o, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	P := make([]model.Pair, 1+rng.Intn(maxPairs))
+	for i := range P {
+		P[i] = model.Pair{Concept: ids[rng.Intn(n)], Sentiment: math.Round(rng.Float64()*20-10) / 10}
+	}
+	return coverage.BuildPairs(model.Metric{Ont: o, Epsilon: 0.5}, P)
+}
+
+// bruteForceOpt enumerates all size-k candidate subsets.
+func bruteForceOpt(g *coverage.Graph, k int) float64 {
+	n := g.NumCandidates
+	sel := make([]int, k)
+	best := math.Inf(1)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			if c := g.CostOf(sel); c < best {
+				best = c
+			}
+			return
+		}
+		for i := start; i <= n-(k-depth); i++ {
+			sel[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestKMedianILPMatchesBruteForceSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		g := randomInstance(rng, 10, 9)
+		for k := 0; k <= 3 && k <= g.NumCandidates; k++ {
+			m := NewKMedianModel(g, k)
+			res, err := m.SolveILP(nil, nil)
+			if err != nil {
+				t.Fatalf("trial %d k %d: %v", trial, k, err)
+			}
+			want := bruteForceOpt(g, k)
+			if math.Abs(res.Objective-want) > 1e-6 {
+				t.Fatalf("trial %d k %d: ILP %v, brute force %v", trial, k, res.Objective, want)
+			}
+			if res.Selected != nil {
+				if got := g.CostOf(res.Selected); math.Abs(got-res.Objective) > 1e-6 {
+					t.Fatalf("trial %d k %d: selection cost %v != objective %v", trial, k, got, res.Objective)
+				}
+			}
+		}
+	}
+}
+
+func TestKMedianLPIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomInstance(rng, 12, 10)
+		k := 1 + rng.Intn(3)
+		if k > g.NumCandidates {
+			k = g.NumCandidates
+		}
+		m := NewKMedianModel(g, k)
+		lpRes, err := m.SolveLP(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceOpt(g, k)
+		if lpRes.Objective > want+1e-6 {
+			t.Fatalf("trial %d: LP bound %v exceeds integer optimum %v", trial, lpRes.Objective, want)
+		}
+		// Σ x = k must hold for the fractional solution too.
+		sum := 0.0
+		for _, x := range lpRes.X {
+			sum += x
+		}
+		if math.Abs(sum-float64(k)) > 1e-6 {
+			t.Fatalf("trial %d: Σx = %v, want %d", trial, sum, k)
+		}
+		for _, x := range lpRes.X {
+			if x < -1e-9 || x > 1+1e-9 {
+				t.Fatalf("trial %d: x out of [0,1]: %v", trial, x)
+			}
+		}
+	}
+}
+
+func TestKMedianKZeroAndFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomInstance(rng, 8, 8)
+	// k = 0: optimum is the empty-summary cost (everything to root).
+	m := NewKMedianModel(g, 0)
+	res, err := m.SolveILP(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-g.EmptyCost()) > 1e-6 {
+		t.Fatalf("k=0 objective %v, want empty cost %v", res.Objective, g.EmptyCost())
+	}
+	// k = all: selecting everything is optimal and costs CostOf(all).
+	all := make([]int, g.NumCandidates)
+	for i := range all {
+		all[i] = i
+	}
+	m = NewKMedianModel(g, g.NumCandidates)
+	res, err = m.SolveILP(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-g.CostOf(all)) > 1e-6 {
+		t.Fatalf("k=n objective %v, want %v", res.Objective, g.CostOf(all))
+	}
+}
+
+func TestKMedianPanicsOnBadK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomInstance(rng, 6, 5)
+	for _, k := range []int{-1, g.NumCandidates + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("k=%d: expected panic", k)
+				}
+			}()
+			NewKMedianModel(g, k)
+		}()
+	}
+}
+
+func TestKMedianIncumbentSpeedsProof(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomInstance(rng, 10, 9)
+	k := 2
+	if k > g.NumCandidates {
+		k = g.NumCandidates
+	}
+	opt := bruteForceOpt(g, k)
+	m := NewKMedianModel(g, k)
+	res, err := m.SolveILP(&opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-opt) > 1e-6 {
+		t.Fatalf("objective %v, want %v", res.Objective, opt)
+	}
+}
+
+// Property: on random instances the ILP optimum is between the LP bound
+// and the cost of any specific feasible selection.
+func TestQuickKMedianSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomInstance(rng, 9, 8)
+		k := 1 + rng.Intn(2)
+		if k > g.NumCandidates {
+			k = g.NumCandidates
+		}
+		m := NewKMedianModel(g, k)
+		lpRes, err := m.SolveLP(nil)
+		if err != nil {
+			t.Logf("LP: %v", err)
+			return false
+		}
+		ilpRes, err := m.SolveILP(nil, nil)
+		if err != nil {
+			t.Logf("ILP: %v", err)
+			return false
+		}
+		if lpRes.Objective > ilpRes.Objective+1e-6 {
+			t.Logf("LP %v > ILP %v", lpRes.Objective, ilpRes.Objective)
+			return false
+		}
+		// Any greedy-ish feasible pick is an upper bound.
+		sel := make([]int, 0, k)
+		for i := 0; i < k; i++ {
+			sel = append(sel, i)
+		}
+		if ilpRes.Objective > g.CostOf(sel)+1e-6 {
+			t.Logf("ILP %v > feasible %v", ilpRes.Objective, g.CostOf(sel))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+import "osars/internal/coverage"
+
+// NewKMedianModelYForm builds the paper's §4.2 program literally, with
+// one y_{p,q} variable per coverage edge and explicit y ≤ x rows:
+//
+//	minimize   Σ_{(p,q)∈E} y_pq·d(p,q)
+//	s.t.       x_r = 1;  Σ_{p∈P\{r}} x_p = k;
+//	           Σ_{p:(p,q)∈E} y_pq = 1  ∀q ∈ W;
+//	           0 ≤ y_pq ≤ x_p;  x ∈ [0,1]
+//
+// It is exactly equivalent to NewKMedianModel's layer-cake form — the
+// equivalence is asserted by tests and measured by the
+// BenchmarkAblationILPForm benches — but has Θ(|E|) rows instead of
+// Θ(|W|·levels), so the compact form is the production default.
+func NewKMedianModelYForm(g *coverage.Graph, k int) *KMedianModel {
+	if k < 0 || k > g.NumCandidates {
+		panic(fmt.Sprintf("lp: k = %d out of range [0, %d]", k, g.NumCandidates))
+	}
+	m := &KMedianModel{
+		Problem: NewProblem(),
+		XVars:   make([]int, g.NumCandidates),
+		K:       k,
+	}
+	for u := range m.XVars {
+		m.XVars[u] = m.Problem.AddVar(0, 0, 1)
+	}
+	xRoot := m.Problem.AddVar(0, 1, 1) // x_r fixed to 1
+
+	// One assignment row per pair, one VUB row per edge.
+	for w := range g.Pairs {
+		mult := float64(g.Weight[w])
+		D := float64(g.RootDist[w]) * mult
+		var asgIdx []int32
+		var asgCoef []float64
+		g.Coverers(w, func(u, dist int) bool {
+			y := m.Problem.AddVar(float64(dist)*mult, 0, Inf)
+			// y_uw ≤ x_u  ⇔  y_uw − x_u ≤ 0
+			m.Problem.AddRow(LE, 0,
+				[]int32{int32(y), int32(m.XVars[u])},
+				[]float64{1, -1})
+			asgIdx = append(asgIdx, int32(y))
+			asgCoef = append(asgCoef, 1)
+			return true
+		})
+		// Root edge: y_rw ≤ x_r with weight D.
+		yr := m.Problem.AddVar(D, 0, Inf)
+		m.Problem.AddRow(LE, 0, []int32{int32(yr), int32(xRoot)}, []float64{1, -1})
+		asgIdx = append(asgIdx, int32(yr))
+		asgCoef = append(asgCoef, 1)
+		m.Problem.AddRow(EQ, 1, asgIdx, asgCoef)
+	}
+
+	idx := make([]int32, len(m.XVars))
+	coef := make([]float64, len(m.XVars))
+	for u, v := range m.XVars {
+		idx[u] = int32(v)
+		coef[u] = 1
+	}
+	m.Problem.AddRow(EQ, float64(k), idx, coef)
+	return m
+}
+
+// ModelSizes reports rows/columns of a built model, for the form
+// comparison in EXPERIMENTS.md.
+func (m *KMedianModel) ModelSizes() (rows, cols int) {
+	return m.Problem.NumRows(), m.Problem.NumVars()
+}
+
+// verifyFormsAgree is a debug helper comparing both formulations'
+// LP optima; exported tests use it on random instances.
+func verifyFormsAgree(g *coverage.Graph, k int) error {
+	z := NewKMedianModel(g, k)
+	y := NewKMedianModelYForm(g, k)
+	zres, err := z.SolveLP(nil)
+	if err != nil {
+		return fmt.Errorf("z-form LP: %w", err)
+	}
+	yres, err := y.SolveLP(nil)
+	if err != nil {
+		return fmt.Errorf("y-form LP: %w", err)
+	}
+	if math.Abs(zres.Objective-yres.Objective) > 1e-5*(1+math.Abs(zres.Objective)) {
+		return fmt.Errorf("LP optima differ: z-form %v, y-form %v", zres.Objective, yres.Objective)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickYFormMatchesZFormLP: the two formulations have identical
+// LP-relaxation optima on random instances — the correctness claim
+// behind using the compact z-form in production.
+func TestQuickYFormMatchesZFormLP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomInstance(rng, 10, 10)
+		for k := 0; k <= 3 && k <= g.NumCandidates; k++ {
+			if err := verifyFormsAgree(g, k); err != nil {
+				t.Logf("seed %d k %d: %v", seed, k, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYFormILPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		g := randomInstance(rng, 9, 8)
+		for k := 0; k <= 2 && k <= g.NumCandidates; k++ {
+			m := NewKMedianModelYForm(g, k)
+			res, err := m.SolveILP(nil, nil)
+			if err != nil {
+				t.Fatalf("trial %d k %d: %v", trial, k, err)
+			}
+			want := bruteForceOpt(g, k)
+			if math.Abs(res.Objective-want) > 1e-6 {
+				t.Fatalf("trial %d k %d: y-form ILP %v, brute force %v", trial, k, res.Objective, want)
+			}
+		}
+	}
+}
+
+func TestYFormIsLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomInstance(rng, 20, 40)
+	z := NewKMedianModel(g, 3)
+	y := NewKMedianModelYForm(g, 3)
+	zr, zc := z.ModelSizes()
+	yr, yc := y.ModelSizes()
+	if yr <= zr || yc <= zc {
+		t.Fatalf("expected y-form (%dx%d) to dominate z-form (%dx%d)", yr, yc, zr, zc)
+	}
+}
+
+func TestYFormPanicsOnBadK(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomInstance(rng, 6, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKMedianModelYForm(g, g.NumCandidates+1)
+}

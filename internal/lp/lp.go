@@ -1,0 +1,605 @@
+// Package lp is a self-contained linear-programming and mixed-integer
+// solver, standing in for the Gurobi library the paper uses (§4.2,
+// §5.1). It implements:
+//
+//   - a dense full-tableau bounded-variable primal simplex with a
+//     two-phase start, Dantzig pricing and a Bland anti-cycling
+//     fallback (lp.go);
+//   - a best-first branch-and-bound MIP solver on top of the LP
+//     relaxation (mip.go);
+//   - a k-medians model builder that converts a coverage graph into
+//     the paper's §4.2 integer program (kmedian.go).
+//
+// The solver is exact in the sense the experiments need: it returns an
+// optimal basic solution of the LP relaxation (for randomized rounding,
+// §4.3) and the optimal integer solution (for the ILP baseline, §4.2).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a row comparison operator.
+type Op int8
+
+// Row operators.
+const (
+	LE Op = iota // ≤
+	GE           // ≥
+	EQ           // =
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Inf is the bound value representing ±infinity.
+var Inf = math.Inf(1)
+
+// Problem is an LP in the form
+//
+//	minimize    obj · v
+//	subject to  row_i · v  (≤ | ≥ | =)  rhs_i   for every row
+//	            lo ≤ v ≤ up
+//
+// Build one with NewProblem, AddVar and AddRow, then call Solve.
+type Problem struct {
+	obj  []float64
+	lo   []float64
+	up   []float64
+	rows []row
+}
+
+type row struct {
+	idx  []int32
+	coef []float64
+	op   Op
+	rhs  float64
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// NumVars reports the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumRows reports the number of constraint rows added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddVar appends a variable with the given objective coefficient and
+// bounds (use -Inf / Inf for unbounded sides) and returns its index.
+// At least one bound must be finite.
+func (p *Problem) AddVar(obj, lo, up float64) int {
+	if lo > up {
+		panic(fmt.Sprintf("lp: AddVar lo %v > up %v", lo, up))
+	}
+	if math.IsInf(lo, -1) && math.IsInf(up, 1) {
+		panic("lp: free variables are not supported")
+	}
+	p.obj = append(p.obj, obj)
+	p.lo = append(p.lo, lo)
+	p.up = append(p.up, up)
+	return len(p.obj) - 1
+}
+
+// SetBounds tightens or relaxes the bounds of variable v (used by
+// branch-and-bound to fix binaries).
+func (p *Problem) SetBounds(v int, lo, up float64) {
+	if lo > up {
+		panic(fmt.Sprintf("lp: SetBounds lo %v > up %v", lo, up))
+	}
+	p.lo[v] = lo
+	p.up[v] = up
+}
+
+// Bounds returns the current bounds of variable v.
+func (p *Problem) Bounds(v int) (lo, up float64) { return p.lo[v], p.up[v] }
+
+// AddRow appends the constraint Σ coef[i]·v[idx[i]] (op) rhs. Indices
+// must be distinct and in range.
+func (p *Problem) AddRow(op Op, rhs float64, idx []int32, coef []float64) {
+	if len(idx) != len(coef) {
+		panic("lp: AddRow len(idx) != len(coef)")
+	}
+	for _, j := range idx {
+		if int(j) >= len(p.obj) || j < 0 {
+			panic(fmt.Sprintf("lp: AddRow index %d out of range", j))
+		}
+	}
+	r := row{idx: append([]int32(nil), idx...), coef: append([]float64(nil), coef...), op: op, rhs: rhs}
+	p.rows = append(p.rows, r)
+}
+
+// Status reports the outcome of Solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve. X has one entry per variable added
+// with AddVar. Objective is meaningful only when Status == Optimal.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	Iters     int
+}
+
+// Options tune the simplex. The zero value picks sensible defaults.
+type Options struct {
+	// MaxIters caps total pivots across both phases (default 50·(m+n)).
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance (default 1e-7).
+	Tol float64
+	// Bland forces Bland's rule from the first pivot (slow but
+	// cycle-proof); by default Dantzig pricing is used with an
+	// automatic Bland fallback after long degenerate stretches.
+	Bland bool
+}
+
+const (
+	atLower int8 = iota
+	atUpper
+	basic
+)
+
+// simplex is the working state of one solve.
+type simplex struct {
+	m, n    int // rows, total columns (structural + slack + artificial)
+	nStruct int
+	nSlack  int
+	tab     []float64 // m×n tableau, row-major: B⁻¹A
+	beta    []float64 // current values of basic variables, per row
+	d       []float64 // reduced costs, per column
+	cost    []float64 // current phase objective, per column
+	lo, up  []float64
+	vstat   []int8
+	bas     []int // basis: column of the basic variable of each row
+	tol     float64
+	bland   bool
+	degen   int // consecutive degenerate pivots (Bland trigger)
+	iters   int
+	maxIt   int
+}
+
+// Solve runs the two-phase bounded-variable simplex.
+func (p *Problem) Solve(opt *Options) (*Solution, error) {
+	var o Options
+	if opt != nil {
+		o = *opt
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	m := len(p.rows)
+	nStruct := len(p.obj)
+	n := nStruct + m + m // structural + one slack per row + one artificial per row
+	if o.MaxIters == 0 {
+		o.MaxIters = 50 * (m + n)
+		if o.MaxIters < 2000 {
+			o.MaxIters = 2000
+		}
+	}
+	s := &simplex{
+		m: m, n: n, nStruct: nStruct, nSlack: m,
+		tab:   make([]float64, m*n),
+		beta:  make([]float64, m),
+		d:     make([]float64, n),
+		cost:  make([]float64, n),
+		lo:    make([]float64, n),
+		up:    make([]float64, n),
+		vstat: make([]int8, n),
+		bas:   make([]int, m),
+		tol:   o.Tol,
+		bland: o.Bland,
+		maxIt: o.MaxIters,
+	}
+	copy(s.lo, p.lo)
+	copy(s.up, p.up)
+
+	// Slack bounds encode the row operator: row·v + slack = rhs.
+	for i, r := range p.rows {
+		j := nStruct + i
+		switch r.op {
+		case LE:
+			s.lo[j], s.up[j] = 0, Inf
+		case GE:
+			s.lo[j], s.up[j] = math.Inf(-1), 0
+		case EQ:
+			s.lo[j], s.up[j] = 0, 0
+		}
+	}
+
+	// Nonbasic start: every structural & slack variable at a finite
+	// bound (prefer lower).
+	val := func(j int) float64 {
+		switch s.vstat[j] {
+		case atLower:
+			return s.lo[j]
+		case atUpper:
+			return s.up[j]
+		}
+		return 0
+	}
+	for j := 0; j < nStruct+m; j++ {
+		if !math.IsInf(s.lo[j], -1) {
+			s.vstat[j] = atLower
+		} else {
+			s.vstat[j] = atUpper
+		}
+	}
+
+	// Fill tableau columns: structural coefficients and +1 slacks.
+	for i, r := range p.rows {
+		rowOff := i * n
+		for t, j := range r.idx {
+			s.tab[rowOff+int(j)] += r.coef[t]
+		}
+		s.tab[rowOff+nStruct+i] = 1
+	}
+
+	// Residuals decide artificial signs; artificials form the basis.
+	for i, r := range p.rows {
+		rowOff := i * n
+		resid := r.rhs
+		for j := 0; j < nStruct+m; j++ {
+			if c := s.tab[rowOff+j]; c != 0 {
+				resid -= c * val(j)
+			}
+		}
+		aj := nStruct + m + i
+		s.lo[aj], s.up[aj] = 0, Inf
+		sign := 1.0
+		if resid < 0 {
+			sign = -1
+		}
+		// Scale the whole row so the artificial column is +1 and the
+		// artificial's value (= scaled residual) is nonnegative.
+		if sign < 0 {
+			for j := 0; j < n; j++ {
+				s.tab[rowOff+j] = -s.tab[rowOff+j]
+			}
+			resid = -resid
+		}
+		s.tab[rowOff+aj] = 1
+		s.vstat[aj] = basic
+		s.bas[i] = aj
+		s.beta[i] = resid
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	for i := 0; i < m; i++ {
+		s.cost[nStruct+m+i] = 1
+	}
+	s.initReducedCosts()
+	st := s.iterate()
+	if st == IterLimit {
+		return &Solution{Status: IterLimit, Iters: s.iters}, errors.New("lp: phase-1 iteration limit")
+	}
+	if st == Unbounded {
+		return nil, errors.New("lp: phase-1 unbounded (internal error)")
+	}
+	if phase1 := s.objValue(val); phase1 > 1e3*s.tol {
+		return &Solution{Status: Infeasible, Iters: s.iters}, nil
+	}
+
+	// Phase 2: pin artificials to zero and switch to the real costs.
+	for i := 0; i < m; i++ {
+		j := nStruct + m + i
+		s.lo[j], s.up[j] = 0, 0
+		s.cost[j] = 0
+		if s.vstat[j] == atUpper {
+			s.vstat[j] = atLower
+		}
+	}
+	for j := 0; j < nStruct; j++ {
+		s.cost[j] = p.obj[j]
+	}
+	for j := nStruct; j < nStruct+m; j++ {
+		s.cost[j] = 0
+	}
+	s.initReducedCosts()
+	s.degen = 0
+	st = s.iterate()
+
+	sol := &Solution{Status: st, Iters: s.iters, X: make([]float64, nStruct)}
+	for j := 0; j < nStruct; j++ {
+		sol.X[j] = val(j)
+	}
+	for i, j := range s.bas {
+		if j < nStruct {
+			sol.X[j] = s.beta[i]
+		}
+	}
+	// Clamp tiny bound violations from floating-point drift.
+	for j := range sol.X {
+		if sol.X[j] < p.lo[j] {
+			sol.X[j] = p.lo[j]
+		}
+		if sol.X[j] > p.up[j] {
+			sol.X[j] = p.up[j]
+		}
+	}
+	obj := 0.0
+	for j, x := range sol.X {
+		obj += p.obj[j] * x
+	}
+	sol.Objective = obj
+	if st == IterLimit {
+		return sol, errors.New("lp: phase-2 iteration limit")
+	}
+	return sol, nil
+}
+
+// initReducedCosts computes d = cost - cost_B·(B⁻¹A) from scratch.
+func (s *simplex) initReducedCosts() {
+	copy(s.d, s.cost)
+	for i, bj := range s.bas {
+		cb := s.cost[bj]
+		if cb == 0 {
+			continue
+		}
+		rowOff := i * s.n
+		for j := 0; j < s.n; j++ {
+			s.d[j] -= cb * s.tab[rowOff+j]
+		}
+	}
+	// The reduced cost of a basic variable is exactly zero; enforce it
+	// to keep pricing honest under drift.
+	for _, bj := range s.bas {
+		s.d[bj] = 0
+	}
+}
+
+func (s *simplex) objValue(val func(int) float64) float64 {
+	obj := 0.0
+	for j := 0; j < s.n; j++ {
+		if s.cost[j] == 0 {
+			continue
+		}
+		if s.vstat[j] == basic {
+			continue
+		}
+		obj += s.cost[j] * val(j)
+	}
+	for i, bj := range s.bas {
+		obj += s.cost[bj] * s.beta[i]
+	}
+	return obj
+}
+
+// iterate runs primal pivots until optimal/unbounded/limit.
+func (s *simplex) iterate() Status {
+	for ; s.iters < s.maxIt; s.iters++ {
+		useBland := s.bland || s.degen > 2*(s.m+1)
+		j, dir := s.price(useBland)
+		if j < 0 {
+			return Optimal
+		}
+		st := s.pivot(j, dir, useBland)
+		if st != 0 {
+			return st
+		}
+	}
+	return IterLimit
+}
+
+// price selects an entering column and its movement direction
+// (+1 increase from lower, -1 decrease from upper), or (-1, 0) when
+// optimal.
+func (s *simplex) price(useBland bool) (enter int, dir float64) {
+	best, bestViol := -1, s.tol
+	for j := 0; j < s.n; j++ {
+		var viol, dj float64
+		switch s.vstat[j] {
+		case atLower:
+			if s.lo[j] == s.up[j] {
+				continue // fixed variable can never improve
+			}
+			dj = s.d[j]
+			viol = -dj
+		case atUpper:
+			if s.lo[j] == s.up[j] {
+				continue
+			}
+			dj = s.d[j]
+			viol = dj
+		default:
+			continue
+		}
+		if viol > bestViol {
+			if useBland {
+				return j, entDir(s.vstat[j])
+			}
+			best, bestViol = j, viol
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, entDir(s.vstat[best])
+}
+
+func entDir(st int8) float64 {
+	if st == atLower {
+		return 1
+	}
+	return -1
+}
+
+// pivot moves entering column j in direction dir as far as bounds
+// allow, performing either a bound flip or a basis exchange. Returns
+// Unbounded if nothing blocks, 0 otherwise.
+func (s *simplex) pivot(j int, dir float64, useBland bool) Status {
+	// Ratio test.
+	tBound := s.up[j] - s.lo[j] // entering hits its own far bound
+	tBest := tBound
+	leave := -1
+	leaveToUpper := false
+	for i := 0; i < s.m; i++ {
+		a := s.tab[i*s.n+j]
+		if a > -1e-11 && a < 1e-11 {
+			continue
+		}
+		coef := dir * a
+		bj := s.bas[i]
+		var t float64
+		var toUpper bool
+		if coef > 0 {
+			if math.IsInf(s.lo[bj], -1) {
+				continue
+			}
+			t = (s.beta[i] - s.lo[bj]) / coef
+		} else {
+			if math.IsInf(s.up[bj], 1) {
+				continue
+			}
+			t = (s.beta[i] - s.up[bj]) / coef
+			toUpper = true
+		}
+		if t < 0 {
+			t = 0 // numerical drift: basic slightly out of bounds
+		}
+		if t > tBest+1e-12 {
+			continue
+		}
+		if leave < 0 || t < tBest-1e-12 {
+			tBest, leave, leaveToUpper = t, i, toUpper
+			continue
+		}
+		// Tie-break among blocking rows: Bland picks the smallest
+		// variable index (anti-cycling); default picks the largest
+		// pivot magnitude (numerical stability).
+		swap := false
+		if useBland {
+			swap = bj < s.bas[leave]
+		} else {
+			swap = math.Abs(a) > math.Abs(s.tab[leave*s.n+j])
+		}
+		if swap {
+			if t < tBest {
+				tBest = t
+			}
+			leave, leaveToUpper = i, toUpper
+		}
+	}
+
+	if leave < 0 {
+		// Nothing blocks except possibly the entering bound itself.
+		if math.IsInf(tBound, 1) {
+			return Unbounded
+		}
+		// Bound flip: entering jumps to its other bound.
+		s.applyStep(j, dir, tBound)
+		if s.vstat[j] == atLower {
+			s.vstat[j] = atUpper
+		} else {
+			s.vstat[j] = atLower
+		}
+		s.degen = 0
+		return 0
+	}
+
+	if tBest <= s.tol {
+		s.degen++
+	} else {
+		s.degen = 0
+	}
+
+	// Basis exchange: entering j replaces basic variable of row
+	// `leave`.
+	s.applyStep(j, dir, tBest)
+	out := s.bas[leave]
+	if leaveToUpper {
+		s.vstat[out] = atUpper
+	} else {
+		s.vstat[out] = atLower
+	}
+
+	// Row reduce so column j becomes the unit vector of row `leave`.
+	rowOff := leave * s.n
+	piv := s.tab[rowOff+j]
+	inv := 1 / piv
+	for t := 0; t < s.n; t++ {
+		s.tab[rowOff+t] *= inv
+	}
+	s.tab[rowOff+j] = 1 // exact
+	enteringVal := s.enterVal(j, dir, tBest)
+	for i := 0; i < s.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := s.tab[i*s.n+j]
+		if f == 0 {
+			continue
+		}
+		off := i * s.n
+		for t := 0; t < s.n; t++ {
+			s.tab[off+t] -= f * s.tab[rowOff+t]
+		}
+		s.tab[off+j] = 0 // exact
+	}
+	if f := s.d[j]; f != 0 {
+		for t := 0; t < s.n; t++ {
+			s.d[t] -= f * s.tab[rowOff+t]
+		}
+		s.d[j] = 0
+	}
+	s.bas[leave] = j
+	s.vstat[j] = basic
+	s.beta[leave] = enteringVal
+	return 0
+}
+
+// applyStep advances entering variable j by step t in direction dir,
+// updating all basic values.
+func (s *simplex) applyStep(j int, dir, t float64) {
+	if t == 0 {
+		return
+	}
+	for i := 0; i < s.m; i++ {
+		a := s.tab[i*s.n+j]
+		if a != 0 {
+			s.beta[i] -= dir * t * a
+		}
+	}
+}
+
+// enterVal is the value the entering variable takes after moving t.
+func (s *simplex) enterVal(j int, dir, t float64) float64 {
+	if dir > 0 {
+		return s.lo[j] + t
+	}
+	return s.up[j] - t
+}

@@ -1,0 +1,175 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomLP builds a small random LP with box-bounded variables and a
+// mix of row types that is guaranteed feasible: we first draw a
+// feasible point z inside the boxes, then set each row's rhs so z
+// satisfies it.
+func randomLP(rng *rand.Rand) (*Problem, []float64) {
+	n := 1 + rng.Intn(6)
+	m := 1 + rng.Intn(6)
+	p := NewProblem()
+	z := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lo := math.Round(rng.NormFloat64()*5*2) / 2
+		up := lo + math.Round(rng.Float64()*10*2)/2
+		p.AddVar(math.Round(rng.NormFloat64()*4*2)/2, lo, up)
+		z[j] = lo + rng.Float64()*(up-lo)
+	}
+	for i := 0; i < m; i++ {
+		var idx []int32
+		var coef []float64
+		lhs := 0.0
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				c := math.Round(rng.NormFloat64()*3*2) / 2
+				if c == 0 {
+					continue
+				}
+				idx = append(idx, int32(j))
+				coef = append(coef, c)
+				lhs += c * z[j]
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddRow(LE, lhs+rng.Float64()*3, idx, coef)
+		case 1:
+			p.AddRow(GE, lhs-rng.Float64()*3, idx, coef)
+		default:
+			p.AddRow(EQ, lhs, idx, coef)
+		}
+	}
+	return p, z
+}
+
+// feasible checks x against all rows and bounds within tol.
+func feasible(p *Problem, x []float64, tol float64) bool {
+	for j := range x {
+		if x[j] < p.lo[j]-tol || x[j] > p.up[j]+tol {
+			return false
+		}
+	}
+	for _, r := range p.rows {
+		lhs := 0.0
+		for t, j := range r.idx {
+			lhs += r.coef[t] * x[j]
+		}
+		switch r.op {
+		case LE:
+			if lhs > r.rhs+tol {
+				return false
+			}
+		case GE:
+			if lhs < r.rhs-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func objective(p *Problem, x []float64) float64 {
+	s := 0.0
+	for j, c := range p.obj {
+		s += c * x[j]
+	}
+	return s
+}
+
+// TestQuickSimplexFeasibleAndDominant: on random feasible LPs the
+// solver must return Optimal (never Infeasible — a feasible point
+// exists by construction), the returned point must be feasible, and no
+// random feasible perturbation may beat its objective.
+func TestQuickSimplexFeasibleAndDominant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, z := randomLP(rng)
+		sol, err := p.Solve(nil)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if sol.Status == Infeasible {
+			t.Logf("seed %d: declared infeasible but %v is feasible", seed, z)
+			return false
+		}
+		if sol.Status == Unbounded {
+			return true // legitimately unbounded below; nothing to check
+		}
+		if !feasible(p, sol.X, 1e-6) {
+			t.Logf("seed %d: solution infeasible: %v", seed, sol.X)
+			return false
+		}
+		// The constructed point z must not beat the reported optimum.
+		if objective(p, z) < sol.Objective-1e-6 {
+			t.Logf("seed %d: z beats optimum: %v < %v", seed, objective(p, z), sol.Objective)
+			return false
+		}
+		// Nor any random line-search from the optimum toward feasible
+		// points.
+		for trial := 0; trial < 20; trial++ {
+			y := make([]float64, len(sol.X))
+			for j := range y {
+				y[j] = p.lo[j] + rng.Float64()*(p.up[j]-p.lo[j])
+			}
+			// Project toward z's feasibility region by blending; only
+			// test when actually feasible.
+			for _, alpha := range []float64{0.25, 0.5, 0.75, 1} {
+				cand := make([]float64, len(y))
+				for j := range y {
+					cand[j] = alpha*z[j] + (1-alpha)*y[j]
+				}
+				if feasible(p, cand, 1e-9) && objective(p, cand) < sol.Objective-1e-6 {
+					t.Logf("seed %d: feasible point beats optimum: %v < %v",
+						seed, objective(p, cand), sol.Objective)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSimplexBlandAgreesWithDantzig: both pivot rules must reach
+// the same optimal objective.
+func TestQuickSimplexBlandAgreesWithDantzig(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := randomLP(rng)
+		a, errA := p.Solve(&Options{Bland: false})
+		b, errB := p.Solve(&Options{Bland: true})
+		if errA != nil || errB != nil {
+			t.Logf("seed %d: %v / %v", seed, errA, errB)
+			return false
+		}
+		if a.Status != b.Status {
+			t.Logf("seed %d: status %v vs %v", seed, a.Status, b.Status)
+			return false
+		}
+		if a.Status == Optimal && math.Abs(a.Objective-b.Objective) > 1e-6*(1+math.Abs(a.Objective)) {
+			t.Logf("seed %d: objectives %v vs %v", seed, a.Objective, b.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,456 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimplexTextbook(t *testing.T) {
+	// max 3a + 5b s.t. a ≤ 4, 2b ≤ 12, 3a + 2b ≤ 18 (Dantzig's
+	// classic): optimum 36 at (2, 6). As minimization: min -3a-5b.
+	p := NewProblem()
+	a := p.AddVar(-3, 0, Inf)
+	b := p.AddVar(-5, 0, Inf)
+	p.AddRow(LE, 4, []int32{int32(a)}, []float64{1})
+	p.AddRow(LE, 12, []int32{int32(b)}, []float64{2})
+	p.AddRow(LE, 18, []int32{int32(a), int32(b)}, []float64{3, 2})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, -36) || !near(sol.X[a], 2) || !near(sol.X[b], 6) {
+		t.Fatalf("got obj %v at %v, want -36 at (2,6)", sol.Objective, sol.X)
+	}
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x ≤ 4 → x=4, y=6, obj 16.
+	p := NewProblem()
+	x := p.AddVar(1, 0, 4)
+	y := p.AddVar(2, 0, Inf)
+	p.AddRow(EQ, 10, []int32{int32(x), int32(y)}, []float64{1, 1})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, 16) || !near(sol.X[x], 4) || !near(sol.X[y], 6) {
+		t.Fatalf("got obj %v at %v, want 16 at (4,6)", sol.Objective, sol.X)
+	}
+}
+
+func TestSimplexGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 5, x ≥ 1 → (5,0)? x+y≥5 with obj 2x+3y:
+	// prefer x: x=5,y=0 obj 10.
+	p := NewProblem()
+	x := p.AddVar(2, 1, Inf)
+	y := p.AddVar(3, 0, Inf)
+	p.AddRow(GE, 5, []int32{int32(x), int32(y)}, []float64{1, 1})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, 10) || !near(sol.X[x], 5) {
+		t.Fatalf("got obj %v at %v, want 10 at (5,0)", sol.Objective, sol.X)
+	}
+}
+
+func TestSimplexUpperBoundedVars(t *testing.T) {
+	// min -(x+y+z), x,y,z ∈ [0,1], x + y + z ≤ 2 → obj -2.
+	p := NewProblem()
+	vars := []int32{}
+	for i := 0; i < 3; i++ {
+		vars = append(vars, int32(p.AddVar(-1, 0, 1)))
+	}
+	p.AddRow(LE, 2, vars, []float64{1, 1, 1})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, -2) {
+		t.Fatalf("obj = %v, want -2", sol.Objective)
+	}
+	sum := sol.X[0] + sol.X[1] + sol.X[2]
+	if !near(sum, 2) {
+		t.Fatalf("Σx = %v, want 2", sum)
+	}
+}
+
+func TestSimplexNegativeLowerBound(t *testing.T) {
+	// min x s.t. x ≥ -3 (lower bound), x + y = 0, y ≤ 2 → x = -2.
+	p := NewProblem()
+	x := p.AddVar(1, -3, Inf)
+	y := p.AddVar(0, 0, 2)
+	p.AddRow(EQ, 0, []int32{int32(x), int32(y)}, []float64{1, 1})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, -2) || !near(sol.X[x], -2) || !near(sol.X[y], 2) {
+		t.Fatalf("got obj %v at %v, want -2 at (-2,2)", sol.Objective, sol.X)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 0, 1)
+	p.AddRow(GE, 5, []int32{int32(x)}, []float64{1})
+	sol, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexInfeasibleEquality(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 0, 1)
+	y := p.AddVar(0, 0, 1)
+	p.AddRow(EQ, 1, []int32{int32(x), int32(y)}, []float64{1, 1})
+	p.AddRow(EQ, 3, []int32{int32(x), int32(y)}, []float64{1, 1})
+	sol, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(-1, 0, Inf)
+	y := p.AddVar(0, 0, 1)
+	p.AddRow(GE, 0, []int32{int32(x), int32(y)}, []float64{1, 1})
+	sol, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Beale's classic cycling example (with Dantzig pricing and no
+	// safeguards the tableau cycles). Optimal value -0.05.
+	p := NewProblem()
+	x1 := p.AddVar(-0.75, 0, Inf)
+	x2 := p.AddVar(150, 0, Inf)
+	x3 := p.AddVar(-0.02, 0, Inf)
+	x4 := p.AddVar(6, 0, Inf)
+	idx := []int32{int32(x1), int32(x2), int32(x3), int32(x4)}
+	p.AddRow(LE, 0, idx, []float64{0.25, -60, -0.04, 9})
+	p.AddRow(LE, 0, idx, []float64{0.5, -90, -0.02, 3})
+	p.AddRow(LE, 1, []int32{int32(x3)}, []float64{1})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, -0.05) {
+		t.Fatalf("obj = %v, want -0.05", sol.Objective)
+	}
+}
+
+func TestSimplexBlandOption(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(-1, 0, 3)
+	y := p.AddVar(-2, 0, 4)
+	p.AddRow(LE, 5, []int32{int32(x), int32(y)}, []float64{1, 1})
+	sol, err := p.Solve(&Options{Bland: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(sol.Objective, -9) { // y=4, x=1
+		t.Fatalf("obj = %v, want -9", sol.Objective)
+	}
+}
+
+func TestSimplexFixedVariable(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 2, 2) // fixed at 2
+	y := p.AddVar(1, 0, Inf)
+	p.AddRow(GE, 5, []int32{int32(x), int32(y)}, []float64{1, 1})
+	sol := solveOK(t, p)
+	if !near(sol.X[x], 2) || !near(sol.X[y], 3) {
+		t.Fatalf("got %v, want (2,3)", sol.X)
+	}
+}
+
+func TestSimplexRejectsFreeVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for free variable")
+		}
+	}()
+	NewProblem().AddVar(1, math.Inf(-1), Inf)
+}
+
+func TestSimplexRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lo > up")
+		}
+	}()
+	NewProblem().AddVar(1, 2, 1)
+}
+
+func TestSetBoundsAndResolve(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(-1, 0, 10)
+	p.AddRow(LE, 7, []int32{int32(x)}, []float64{1})
+	sol := solveOK(t, p)
+	if !near(sol.X[x], 7) {
+		t.Fatalf("x = %v, want 7", sol.X[x])
+	}
+	p.SetBounds(x, 0, 3)
+	sol = solveOK(t, p)
+	if !near(sol.X[x], 3) {
+		t.Fatalf("after SetBounds x = %v, want 3", sol.X[x])
+	}
+	if lo, up := p.Bounds(x); lo != 0 || up != 3 {
+		t.Fatalf("Bounds = (%v,%v), want (0,3)", lo, up)
+	}
+}
+
+func TestMIPKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c s.t. 3a + 4b + 2c ≤ 6, binary.
+	// Best: a + c (weight 5, value 17); b + c (6, 20) ✓.
+	p := NewProblem()
+	a := p.AddVar(-10, 0, 1)
+	b := p.AddVar(-13, 0, 1)
+	c := p.AddVar(-7, 0, 1)
+	p.AddRow(LE, 6, []int32{int32(a), int32(b), int32(c)}, []float64{3, 4, 2})
+	sol, err := SolveMIP(p, []int{a, b, c}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !near(sol.Objective, -20) {
+		t.Fatalf("MIP obj = %v (%v), want -20", sol.Objective, sol.Status)
+	}
+	if !near(sol.X[b], 1) || !near(sol.X[c], 1) || !near(sol.X[a], 0) {
+		t.Fatalf("MIP x = %v, want (0,1,1)", sol.X)
+	}
+}
+
+func TestMIPSetCover(t *testing.T) {
+	// Universe {1..4}; sets S0={1,2}, S1={2,3}, S2={3,4}, S3={1,4},
+	// S4={1,2,3}. Min cover: {S4, S2} (or {S0,S2}) → size 2.
+	p := NewProblem()
+	var vars []int
+	for i := 0; i < 5; i++ {
+		vars = append(vars, p.AddVar(1, 0, 1))
+	}
+	membership := [][]int{{0, 3, 4}, {0, 1, 4}, {1, 2, 4}, {2, 3}}
+	for _, sets := range membership {
+		idx := make([]int32, len(sets))
+		coef := make([]float64, len(sets))
+		for i, s := range sets {
+			idx[i] = int32(vars[s])
+			coef[i] = 1
+		}
+		p.AddRow(GE, 1, idx, coef)
+	}
+	sol, err := SolveMIP(p, vars, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(sol.Objective, 2) {
+		t.Fatalf("set cover obj = %v, want 2", sol.Objective)
+	}
+}
+
+func TestMIPInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 0, 1)
+	p.AddRow(GE, 2, []int32{int32(x)}, []float64{1})
+	sol, err := SolveMIP(p, []int{x}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMIPFractionalGapForcesBranching(t *testing.T) {
+	// min -(x+y) s.t. 2x + 2y ≤ 3, binary: LP relax gives 1.5 sum,
+	// integer optimum picks exactly one → obj -1.
+	p := NewProblem()
+	x := p.AddVar(-1, 0, 1)
+	y := p.AddVar(-1, 0, 1)
+	p.AddRow(LE, 3, []int32{int32(x), int32(y)}, []float64{2, 2})
+	sol, err := SolveMIP(p, []int{x, y}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(sol.Objective, -1) {
+		t.Fatalf("obj = %v, want -1", sol.Objective)
+	}
+	if sol.Nodes < 1 {
+		t.Fatalf("expected at least the root node, got %d", sol.Nodes)
+	}
+}
+
+func TestMIPRestoresBounds(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(-1, 0, 1)
+	y := p.AddVar(-1, 0, 1)
+	p.AddRow(LE, 3, []int32{int32(x), int32(y)}, []float64{2, 2})
+	if _, err := SolveMIP(p, []int{x, y}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{x, y} {
+		if lo, up := p.Bounds(v); lo != 0 || up != 1 {
+			t.Fatalf("bounds of %d not restored: (%v,%v)", v, lo, up)
+		}
+	}
+}
+
+func TestMIPIncumbentPruning(t *testing.T) {
+	// Incumbent equal to the optimum: solver proves optimality and
+	// returns nil X with the incumbent objective.
+	p := NewProblem()
+	x := p.AddVar(1, 0, 1)
+	y := p.AddVar(1, 0, 1)
+	p.AddRow(GE, 1, []int32{int32(x), int32(y)}, []float64{1, 1})
+	inc := 1.0
+	sol, err := SolveMIP(p, []int{x, y}, &MIPOptions{Incumbent: &inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !near(sol.Objective, 1) {
+		t.Fatalf("got %v obj %v, want optimal 1", sol.Status, sol.Objective)
+	}
+	if sol.X != nil {
+		t.Fatalf("expected nil X when incumbent is optimal, got %v", sol.X)
+	}
+}
+
+func TestFractionalIsIntegral(t *testing.T) {
+	if !FractionalIsIntegral([]float64{0, 1, 1.0000000001, -0.0000000001}, 1e-6) {
+		t.Fatal("near-integral vector rejected")
+	}
+	if FractionalIsIntegral([]float64{0.5}, 1e-6) {
+		t.Fatal("fractional vector accepted")
+	}
+}
+
+func TestMIPGeneralIntegerDeepBranching(t *testing.T) {
+	// max x + 2y s.t. 3x + 4y ≤ 10.5, x,y ∈ {0..5}. The LP relaxation
+	// is fractional at several nodes and the same variable must be
+	// branched more than once along a path (general integers, not
+	// binaries), exercising the bound-override merging and the open
+	// node heap. Optimum: 4 (e.g. x=0,y=2 or x=2,y=1).
+	p := NewProblem()
+	x := p.AddVar(-1, 0, 5)
+	y := p.AddVar(-2, 0, 5)
+	p.AddRow(LE, 10.5, []int32{int32(x), int32(y)}, []float64{3, 4})
+	sol, err := SolveMIP(p, []int{x, y}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !near(sol.Objective, -4) {
+		t.Fatalf("got %v obj %v, want optimal -4", sol.Status, sol.Objective)
+	}
+	for _, v := range []int{x, y} {
+		if f := sol.X[v] - math.Floor(sol.X[v]); f > 1e-6 && f < 1-1e-6 {
+			t.Fatalf("non-integral solution %v", sol.X)
+		}
+	}
+	if sol.Nodes < 2 {
+		t.Fatalf("expected real branching, got %d nodes", sol.Nodes)
+	}
+}
+
+func TestMIPHarderGeneralInteger(t *testing.T) {
+	// A small integer program with an awkward LP polytope: maximize
+	// 5a + 4b + 3c s.t. 2a+3b+c ≤ 5, 4a+b+2c ≤ 11, 3a+4b+2c ≤ 8 with
+	// a,b,c ∈ {0..3}. Integer optimum 13 at (1,0,...): enumerate —
+	// a=1,b=0,c=3: rows 2+0+3=5 ✓, 4+0+6=10 ✓, 3+0+6=9 >8 ✗.
+	// a=2,b=0,c=1: 5 ✓, 10 ✓, 8 ✓ → value 13.
+	p := NewProblem()
+	a := p.AddVar(-5, 0, 3)
+	b := p.AddVar(-4, 0, 3)
+	c := p.AddVar(-3, 0, 3)
+	idx := []int32{int32(a), int32(b), int32(c)}
+	p.AddRow(LE, 5, idx, []float64{2, 3, 1})
+	p.AddRow(LE, 11, idx, []float64{4, 1, 2})
+	p.AddRow(LE, 8, idx, []float64{3, 4, 2})
+	sol, err := SolveMIP(p, []int{a, b, c}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !near(sol.Objective, -13) {
+		t.Fatalf("got %v obj %v, want -13", sol.Status, sol.Objective)
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Op strings wrong")
+	}
+	if Op(9).String() == "" {
+		t.Fatal("unknown Op should stringify")
+	}
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration-limit",
+	} {
+		if s.String() != want {
+			t.Fatalf("Status %d = %q", s, s.String())
+		}
+	}
+	if Status(9).String() == "" {
+		t.Fatal("unknown Status should stringify")
+	}
+}
+
+func TestMIPRandomKnapsacksMatchBruteForce(t *testing.T) {
+	// Random 10-item binary knapsacks keep several open nodes in the
+	// best-first frontier (exercising the node heap) and are checked
+	// against exhaustive enumeration.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		n := 10
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		wsum := 0.0
+		for i := 0; i < n; i++ {
+			values[i] = 1 + math.Round(rng.Float64()*90)/10
+			weights[i] = 1 + math.Round(rng.Float64()*90)/10
+			wsum += weights[i]
+		}
+		cap := math.Round(wsum * 0.4)
+
+		p := NewProblem()
+		idx := make([]int32, n)
+		coef := make([]float64, n)
+		vars := make([]int, n)
+		for i := 0; i < n; i++ {
+			vars[i] = p.AddVar(-values[i], 0, 1)
+			idx[i] = int32(vars[i])
+			coef[i] = weights[i]
+		}
+		p.AddRow(LE, cap, idx, coef)
+		sol, err := SolveMIP(p, vars, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Brute force over all 2^10 subsets.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[i]
+					v += values[i]
+				}
+			}
+			if w <= cap && v > best {
+				best = v
+			}
+		}
+		if !near(sol.Objective, -best) {
+			t.Fatalf("trial %d: MIP %v, brute force %v", trial, -sol.Objective, best)
+		}
+	}
+}

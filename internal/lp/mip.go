@@ -1,0 +1,258 @@
+package lp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MIPOptions tune the branch-and-bound solver. The zero value picks
+// defaults suitable for the summarization ILPs.
+type MIPOptions struct {
+	// MaxNodes caps the number of explored nodes (default 20000).
+	MaxNodes int
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// Incumbent, when non-nil, provides a known feasible objective
+	// value used to prune from the start (e.g. from the greedy
+	// algorithm). Gap pruning uses Incumbent-1e-9.
+	Incumbent *float64
+	// LP options forwarded to every node solve.
+	LP Options
+}
+
+// MIPSolution is the result of SolveMIP.
+type MIPSolution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	Nodes     int
+	LPIters   int
+}
+
+// bbNode is one open branch-and-bound node: a set of bound overrides
+// relative to the root problem.
+type bbNode struct {
+	bound  float64 // LP relaxation objective (lower bound)
+	fixLo  []float64
+	fixUp  []float64
+	fixVar []int
+}
+
+type nodeHeap []*bbNode
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*bbNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SolveMIP minimizes the problem with the listed variables restricted
+// to integer values, by best-first branch and bound over the LP
+// relaxation. The problem's variable bounds are restored before
+// returning. All integer variables must have finite bounds.
+func SolveMIP(p *Problem, intVars []int, opt *MIPOptions) (*MIPSolution, error) {
+	var o MIPOptions
+	if opt != nil {
+		o = *opt
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 20000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	for _, v := range intVars {
+		if math.IsInf(p.lo[v], -1) || math.IsInf(p.up[v], 1) {
+			return nil, fmt.Errorf("lp: integer variable %d must have finite bounds", v)
+		}
+	}
+
+	// Preserve root bounds so node overrides can be undone.
+	savedLo := append([]float64(nil), p.lo...)
+	savedUp := append([]float64(nil), p.up...)
+	defer func() {
+		copy(p.lo, savedLo)
+		copy(p.up, savedUp)
+	}()
+
+	best := math.Inf(1)
+	if o.Incumbent != nil {
+		best = *o.Incumbent
+	}
+	var bestX []float64
+
+	res := &MIPSolution{Status: Infeasible}
+	solveNode := func(nd *bbNode) (*Solution, error) {
+		copy(p.lo, savedLo)
+		copy(p.up, savedUp)
+		for i, v := range nd.fixVar {
+			p.lo[v] = nd.fixLo[i]
+			p.up[v] = nd.fixUp[i]
+		}
+		sol, err := p.Solve(&o.LP)
+		if sol != nil {
+			res.LPIters += sol.Iters
+		}
+		return sol, err
+	}
+
+	// mostFractional picks the branch variable; returns -1 if the
+	// relaxation is already integral.
+	mostFractional := func(x []float64) int {
+		pick, worst := -1, o.IntTol
+		for _, v := range intVars {
+			f := x[v] - math.Floor(x[v])
+			if f > 0.5 {
+				f = 1 - f
+			}
+			if f > worst {
+				pick, worst = v, f
+			}
+		}
+		return pick
+	}
+
+	open := &nodeHeap{}
+	root := &bbNode{}
+	rootSol, err := solveNode(root)
+	if err != nil {
+		return nil, err
+	}
+	switch rootSol.Status {
+	case Infeasible:
+		return res, nil
+	case Unbounded:
+		return nil, errors.New("lp: MIP relaxation unbounded")
+	}
+	root.bound = rootSol.Objective
+	heap.Push(open, root)
+	pending := map[*bbNode]*Solution{root: rootSol}
+
+	for open.Len() > 0 {
+		if res.Nodes >= o.MaxNodes {
+			res.Status = IterLimit
+			res.Objective = best
+			res.X = bestX
+			return res, errors.New("lp: MIP node limit reached")
+		}
+		nd := heap.Pop(open).(*bbNode)
+		res.Nodes++
+		sol := pending[nd]
+		delete(pending, nd)
+		if sol == nil {
+			s, err := solveNode(nd)
+			if err != nil {
+				return nil, err
+			}
+			if s.Status != Optimal {
+				continue
+			}
+			sol = s
+			nd.bound = s.Objective
+		}
+		if nd.bound >= best-1e-9 {
+			continue // bounded out (best-first: all remaining nodes too, but cheap to keep draining)
+		}
+		bv := mostFractional(sol.X)
+		if bv < 0 {
+			// Integral: new incumbent.
+			if sol.Objective < best-1e-9 {
+				best = sol.Objective
+				bestX = append([]float64(nil), sol.X...)
+			}
+			continue
+		}
+		fl := math.Floor(sol.X[bv])
+		for side := 0; side < 2; side++ {
+			child := &bbNode{
+				fixVar: append(append([]int(nil), nd.fixVar...), bv),
+				fixLo:  append(append([]float64(nil), nd.fixLo...), 0),
+				fixUp:  append(append([]float64(nil), nd.fixUp...), 0),
+			}
+			last := len(child.fixVar) - 1
+			if side == 0 { // x ≤ floor
+				child.fixLo[last] = savedLo[bv]
+				child.fixUp[last] = fl
+				if anyOverride(nd, bv) {
+					child.fixLo[last], child.fixUp[last] = overrideRange(nd, bv, savedLo[bv], savedUp[bv])
+					child.fixUp[last] = math.Min(child.fixUp[last], fl)
+				}
+			} else { // x ≥ floor+1
+				child.fixLo[last] = fl + 1
+				child.fixUp[last] = savedUp[bv]
+				if anyOverride(nd, bv) {
+					clo, cup := overrideRange(nd, bv, savedLo[bv], savedUp[bv])
+					child.fixLo[last] = math.Max(clo, fl+1)
+					child.fixUp[last] = cup
+				}
+			}
+			if child.fixLo[last] > child.fixUp[last] {
+				continue // empty domain
+			}
+			csol, err := solveNode(child)
+			if err != nil {
+				return nil, err
+			}
+			if csol.Status != Optimal {
+				continue
+			}
+			child.bound = csol.Objective
+			if child.bound >= best-1e-9 {
+				continue
+			}
+			if iv := mostFractional(csol.X); iv < 0 {
+				if csol.Objective < best-1e-9 {
+					best = csol.Objective
+					bestX = append([]float64(nil), csol.X...)
+				}
+				continue
+			}
+			heap.Push(open, child)
+			pending[child] = csol
+		}
+	}
+
+	if bestX == nil {
+		if o.Incumbent != nil && !math.IsInf(best, 1) {
+			// The externally provided incumbent was already optimal;
+			// report its value with no X (caller already has it).
+			res.Status = Optimal
+			res.Objective = best
+			return res, nil
+		}
+		res.Status = Infeasible
+		return res, nil
+	}
+	res.Status = Optimal
+	res.Objective = best
+	res.X = bestX
+	return res, nil
+}
+
+func anyOverride(nd *bbNode, v int) bool {
+	for _, fv := range nd.fixVar {
+		if fv == v {
+			return true
+		}
+	}
+	return false
+}
+
+// overrideRange returns the tightest bound override for v along the
+// node's fix list (later entries are tighter).
+func overrideRange(nd *bbNode, v int, lo, up float64) (float64, float64) {
+	for i, fv := range nd.fixVar {
+		if fv == v {
+			lo, up = nd.fixLo[i], nd.fixUp[i]
+		}
+	}
+	return lo, up
+}

@@ -1,0 +1,187 @@
+// Package pq implements an indexed max-heap priority queue.
+//
+// The queue stores items identified by dense integer IDs in [0, n) and
+// orders them by a float64 key. Unlike container/heap, it supports
+// changing the key of an item that is already enqueued in O(log n),
+// which the greedy summarizer (paper §4.4, Algorithm 2) needs: after a
+// pair p is added to the summary, the marginal gains δ(q, F) of all
+// neighbors-of-neighbors q of p change and their heap keys must be
+// updated in place.
+package pq
+
+import "fmt"
+
+// Max is an indexed max-heap keyed by float64. Item IDs must be dense
+// integers in [0, capacity). The zero value is not usable; construct
+// with NewMax.
+type Max struct {
+	heap []int     // heap[i] = item id at heap position i
+	pos  []int     // pos[id] = heap position of id, or -1 if absent
+	key  []float64 // key[id] = current key of id (valid while present)
+}
+
+// NewMax returns an empty indexed max-heap able to hold item IDs in
+// [0, capacity).
+func NewMax(capacity int) *Max {
+	pos := make([]int, capacity)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &Max{
+		heap: make([]int, 0, capacity),
+		pos:  pos,
+		key:  make([]float64, capacity),
+	}
+}
+
+// Len reports the number of items currently enqueued.
+func (m *Max) Len() int { return len(m.heap) }
+
+// Contains reports whether item id is currently enqueued.
+func (m *Max) Contains(id int) bool { return id >= 0 && id < len(m.pos) && m.pos[id] >= 0 }
+
+// Key returns the current key of item id. It panics if id is not
+// enqueued.
+func (m *Max) Key(id int) float64 {
+	if !m.Contains(id) {
+		panic(fmt.Sprintf("pq: Key of absent item %d", id))
+	}
+	return m.key[id]
+}
+
+// Push inserts item id with the given key. It panics if id is out of
+// range or already enqueued.
+func (m *Max) Push(id int, key float64) {
+	if id < 0 || id >= len(m.pos) {
+		panic(fmt.Sprintf("pq: Push id %d out of range [0,%d)", id, len(m.pos)))
+	}
+	if m.pos[id] >= 0 {
+		panic(fmt.Sprintf("pq: Push of already-enqueued item %d", id))
+	}
+	m.key[id] = key
+	m.pos[id] = len(m.heap)
+	m.heap = append(m.heap, id)
+	m.up(len(m.heap) - 1)
+}
+
+// BuildFrom discards the current contents and heapifies all capacity
+// items using keys[id] as the key of item id, in O(n). keys must have
+// length equal to the capacity given to NewMax.
+func (m *Max) BuildFrom(keys []float64) {
+	if len(keys) != len(m.pos) {
+		panic(fmt.Sprintf("pq: BuildFrom got %d keys for capacity %d", len(keys), len(m.pos)))
+	}
+	m.heap = m.heap[:0]
+	copy(m.key, keys)
+	for id := range keys {
+		m.pos[id] = id
+		m.heap = append(m.heap, id)
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.down(i)
+	}
+}
+
+// PopMax removes and returns the item with the largest key and that
+// key. It panics on an empty queue. Ties are broken arbitrarily but
+// deterministically.
+func (m *Max) PopMax() (id int, key float64) {
+	if len(m.heap) == 0 {
+		panic("pq: PopMax on empty queue")
+	}
+	id = m.heap[0]
+	key = m.key[id]
+	m.remove(0)
+	return id, key
+}
+
+// PeekMax returns the item with the largest key without removing it.
+// It panics on an empty queue.
+func (m *Max) PeekMax() (id int, key float64) {
+	if len(m.heap) == 0 {
+		panic("pq: PeekMax on empty queue")
+	}
+	id = m.heap[0]
+	return id, m.key[id]
+}
+
+// Remove deletes item id from the queue. It panics if id is not
+// enqueued.
+func (m *Max) Remove(id int) {
+	if !m.Contains(id) {
+		panic(fmt.Sprintf("pq: Remove of absent item %d", id))
+	}
+	m.remove(m.pos[id])
+}
+
+// Update changes the key of item id, restoring heap order. It panics
+// if id is not enqueued.
+func (m *Max) Update(id int, key float64) {
+	if !m.Contains(id) {
+		panic(fmt.Sprintf("pq: Update of absent item %d", id))
+	}
+	old := m.key[id]
+	m.key[id] = key
+	switch {
+	case key > old:
+		m.up(m.pos[id])
+	case key < old:
+		m.down(m.pos[id])
+	}
+}
+
+func (m *Max) remove(i int) {
+	id := m.heap[i]
+	last := len(m.heap) - 1
+	m.swap(i, last)
+	m.heap = m.heap[:last]
+	m.pos[id] = -1
+	if i < last {
+		m.down(i)
+		m.up(i)
+	}
+}
+
+func (m *Max) less(i, j int) bool {
+	a, b := m.heap[i], m.heap[j]
+	if m.key[a] != m.key[b] {
+		return m.key[a] > m.key[b] // max-heap: larger key floats up
+	}
+	return a < b // deterministic tie-break by id
+}
+
+func (m *Max) swap(i, j int) {
+	m.heap[i], m.heap[j] = m.heap[j], m.heap[i]
+	m.pos[m.heap[i]] = i
+	m.pos[m.heap[j]] = j
+}
+
+func (m *Max) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.less(i, parent) {
+			return
+		}
+		m.swap(i, parent)
+		i = parent
+	}
+}
+
+func (m *Max) down(i int) {
+	n := len(m.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && m.less(right, left) {
+			best = right
+		}
+		if !m.less(best, i) {
+			return
+		}
+		m.swap(i, best)
+		i = best
+	}
+}

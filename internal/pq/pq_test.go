@@ -1,0 +1,206 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrdered(t *testing.T) {
+	m := NewMax(10)
+	keys := []float64{3, 1, 4, 1.5, 9, 2.6, 5, 3.5, 8, 7}
+	for id, k := range keys {
+		m.Push(id, k)
+	}
+	if m.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", m.Len())
+	}
+	prev := 1e18
+	for m.Len() > 0 {
+		_, k := m.PopMax()
+		if k > prev {
+			t.Fatalf("pop order violated: %v after %v", k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestPeekMatchesPop(t *testing.T) {
+	m := NewMax(4)
+	m.Push(0, 1)
+	m.Push(1, 5)
+	m.Push(2, 3)
+	pid, pk := m.PeekMax()
+	id, k := m.PopMax()
+	if pid != id || pk != k {
+		t.Fatalf("Peek (%d,%v) != Pop (%d,%v)", pid, pk, id, k)
+	}
+	if id != 1 || k != 5 {
+		t.Fatalf("PopMax = (%d,%v), want (1,5)", id, k)
+	}
+}
+
+func TestUpdateRestoresOrder(t *testing.T) {
+	m := NewMax(5)
+	for id := 0; id < 5; id++ {
+		m.Push(id, float64(id))
+	}
+	m.Update(0, 100) // smallest becomes largest
+	if id, _ := m.PeekMax(); id != 0 {
+		t.Fatalf("after Update(0,100) PeekMax id = %d, want 0", id)
+	}
+	m.Update(0, -100) // back to smallest
+	if id, _ := m.PeekMax(); id != 4 {
+		t.Fatalf("after Update(0,-100) PeekMax id = %d, want 4", id)
+	}
+	if got := m.Key(0); got != -100 {
+		t.Fatalf("Key(0) = %v, want -100", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m := NewMax(5)
+	for id := 0; id < 5; id++ {
+		m.Push(id, float64(id))
+	}
+	m.Remove(4) // remove current max
+	if id, _ := m.PeekMax(); id != 3 {
+		t.Fatalf("after Remove(4) PeekMax id = %d, want 3", id)
+	}
+	m.Remove(0)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	if m.Contains(4) || m.Contains(0) {
+		t.Fatal("removed items still reported as contained")
+	}
+}
+
+func TestBuildFrom(t *testing.T) {
+	keys := []float64{5, 2, 8, 1, 9, 3}
+	m := NewMax(len(keys))
+	m.BuildFrom(keys)
+	want := append([]float64(nil), keys...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+	for i, w := range want {
+		_, k := m.PopMax()
+		if k != w {
+			t.Fatalf("pop %d = %v, want %v", i, k, w)
+		}
+	}
+}
+
+func TestReuseAfterPop(t *testing.T) {
+	m := NewMax(3)
+	m.Push(0, 1)
+	m.PopMax()
+	m.Push(0, 2) // re-push same id after pop must work
+	if id, k := m.PeekMax(); id != 0 || k != 2 {
+		t.Fatalf("re-pushed item wrong: (%d,%v)", id, k)
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	m := NewMax(2)
+	assertPanics("PopMax empty", func() { m.PopMax() })
+	assertPanics("PeekMax empty", func() { m.PeekMax() })
+	assertPanics("Push out of range", func() { m.Push(2, 0) })
+	assertPanics("Push negative", func() { m.Push(-1, 0) })
+	m.Push(0, 1)
+	assertPanics("double Push", func() { m.Push(0, 2) })
+	assertPanics("Update absent", func() { m.Update(1, 0) })
+	assertPanics("Remove absent", func() { m.Remove(1) })
+	assertPanics("Key absent", func() { m.Key(1) })
+}
+
+// TestQuickHeapOrder is a property test: for any sequence of keys,
+// popping everything yields a non-increasing sequence, and every pushed
+// key appears exactly once.
+func TestQuickHeapOrder(t *testing.T) {
+	f := func(keys []float64) bool {
+		if len(keys) > 512 {
+			keys = keys[:512]
+		}
+		m := NewMax(len(keys))
+		for id, k := range keys {
+			m.Push(id, k)
+		}
+		got := make([]float64, 0, len(keys))
+		prev := 0.0
+		for i := 0; m.Len() > 0; i++ {
+			_, k := m.PopMax()
+			if i > 0 && k > prev {
+				return false
+			}
+			prev = k
+			got = append(got, k)
+		}
+		want := append([]float64(nil), keys...)
+		sort.Float64s(want)
+		sort.Float64s(got)
+		for i := range want {
+			if want[i] != got[i] && !(want[i] != want[i] && got[i] != got[i]) { // allow NaN
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomOps interleaves push/pop/update/remove against a naive
+// reference implementation.
+func TestQuickRandomOps(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := NewMax(n)
+		ref := map[int]float64{}
+		for step := 0; step < 500; step++ {
+			id := rng.Intn(n)
+			switch op := rng.Intn(4); {
+			case op == 0 && !m.Contains(id):
+				k := rng.NormFloat64()
+				m.Push(id, k)
+				ref[id] = k
+			case op == 1 && m.Contains(id):
+				k := rng.NormFloat64()
+				m.Update(id, k)
+				ref[id] = k
+			case op == 2 && m.Contains(id):
+				m.Remove(id)
+				delete(ref, id)
+			case op == 3 && m.Len() > 0:
+				pid, pk := m.PopMax()
+				best := -1e18
+				for _, v := range ref {
+					if v > best {
+						best = v
+					}
+				}
+				if pk != best {
+					t.Fatalf("trial %d step %d: PopMax key %v, reference max %v", trial, step, pk, best)
+				}
+				if ref[pid] != pk {
+					t.Fatalf("trial %d step %d: popped id %d has reference key %v, want %v", trial, step, pid, ref[pid], pk)
+				}
+				delete(ref, pid)
+			}
+			if m.Len() != len(ref) {
+				t.Fatalf("trial %d step %d: Len %d != reference %d", trial, step, m.Len(), len(ref))
+			}
+		}
+	}
+}

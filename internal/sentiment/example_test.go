@@ -1,0 +1,50 @@
+package sentiment_test
+
+import (
+	"fmt"
+
+	"osars/internal/sentiment"
+	"osars/internal/text"
+)
+
+// Example scores review sentences with the unsupervised lexicon
+// estimator, showing graded strengths, intensifiers and negation.
+func Example() {
+	var l sentiment.Lexicon
+	for _, s := range []string{
+		"The screen is decent",
+		"The screen is good",
+		"The screen is very good",
+		"The screen is excellent",
+		"The screen is not good",
+		"The screen is awful",
+	} {
+		fmt.Printf("%+.3f  %s\n", l.Score(s), s)
+	}
+	// Output:
+	// +0.250  The screen is decent
+	// +0.500  The screen is good
+	// +0.650  The screen is very good
+	// +1.000  The screen is excellent
+	// -0.375  The screen is not good
+	// -1.000  The screen is awful
+}
+
+// ExampleTrainRidge fits the supervised estimator on star-labeled
+// reviews and scores unseen text.
+func ExampleTrainRidge() {
+	examples := []sentiment.Example{
+		{Tokens: text.Tokenize("excellent phone, love the screen"), Target: 1},
+		{Tokens: text.Tokenize("great battery and great camera"), Target: 1},
+		{Tokens: text.Tokenize("terrible phone, hate the screen"), Target: -1},
+		{Tokens: text.Tokenize("awful battery and awful camera"), Target: -1},
+	}
+	r, err := sentiment.TrainRidge(examples, sentiment.RidgeOptions{Stem: true})
+	if err != nil {
+		panic(err)
+	}
+	pos := r.EstimateSentence(text.Tokenize("excellent battery"))
+	neg := r.EstimateSentence(text.Tokenize("terrible camera"))
+	fmt.Println("positive sentence scores above negative:", pos > neg)
+	// Output: positive sentence scores above negative: true
+}

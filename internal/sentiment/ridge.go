@@ -1,0 +1,189 @@
+package sentiment
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"osars/internal/linalg"
+	"osars/internal/text"
+)
+
+// Ridge is the supervised estimator: a hashed bag-of-words ridge
+// regression trained on (sentence, rating) examples, substituting for
+// the paper's doc2vec-embedding + regression pipeline (§5.1). Feature
+// hashing keeps the model fixed-size and vocabulary-free, mirroring
+// how doc2vec gives a fixed-size representation.
+type Ridge struct {
+	weights []float64
+	dim     int
+	bias    float64
+	stem    bool
+}
+
+var _ Estimator = (*Ridge)(nil)
+
+// RidgeOptions configure training.
+type RidgeOptions struct {
+	// Dim is the hashed feature dimension (default 1<<13).
+	Dim int
+	// Lambda is the L2 regularization strength (default 1.0).
+	Lambda float64
+	// Stem applies Porter stemming to tokens before hashing
+	// (default true via NewRidge).
+	Stem bool
+	// MaxIter bounds conjugate-gradient iterations (default 200).
+	MaxIter int
+}
+
+// Example is one training sentence with its target sentiment in
+// [-1, +1] (typically the normalized star rating of the containing
+// review, the weak supervision the paper's regression uses).
+type Example struct {
+	Tokens []string
+	Target float64
+}
+
+// TrainRidge fits the regression by solving the normal equations
+// (XᵀX + λI)w = Xᵀy with conjugate gradient; X is never materialized.
+func TrainRidge(examples []Example, opt RidgeOptions) (*Ridge, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("sentiment: no training examples")
+	}
+	if opt.Dim <= 0 {
+		opt.Dim = 1 << 13
+	}
+	if opt.Lambda <= 0 {
+		opt.Lambda = 1.0
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 200
+	}
+	r := &Ridge{dim: opt.Dim, stem: opt.Stem}
+
+	// Bias = mean target; the regression fits residuals.
+	mean := 0.0
+	for _, ex := range examples {
+		mean += ex.Target
+	}
+	mean /= float64(len(examples))
+	r.bias = mean
+
+	// Pre-hash every document once.
+	docs := make([]text.SparseVec, len(examples))
+	for i, ex := range examples {
+		docs[i] = r.features(ex.Tokens)
+	}
+
+	// rhs = Xᵀ(y − mean)
+	rhs := make([]float64, opt.Dim)
+	for i, ex := range examples {
+		resid := ex.Target - mean
+		for j, idx := range docs[i].Idx {
+			rhs[idx] += docs[i].Val[j] * resid
+		}
+	}
+
+	// apply(v) = XᵀX·v + λ·v
+	tmp := make([]float64, len(examples))
+	apply := func(v, dst []float64) {
+		for i := range tmp {
+			s := 0.0
+			for j, idx := range docs[i].Idx {
+				s += docs[i].Val[j] * v[idx]
+			}
+			tmp[i] = s
+		}
+		for d := range dst {
+			dst[d] = opt.Lambda * v[d]
+		}
+		for i := range tmp {
+			if tmp[i] == 0 {
+				continue
+			}
+			for j, idx := range docs[i].Idx {
+				dst[idx] += docs[i].Val[j] * tmp[i]
+			}
+		}
+	}
+	r.weights = linalg.CG(apply, rhs, 1e-8, opt.MaxIter)
+	return r, nil
+}
+
+// features hashes tokens (stemmed if configured, stopwords dropped)
+// into a normalized sparse vector. A signed second hash reduces
+// collision bias, the standard "hashing trick" construction.
+func (r *Ridge) features(tokens []string) text.SparseVec {
+	counts := map[int32]float64{}
+	prev := ""
+	for _, tok := range tokens {
+		if text.IsStopword(tok) && !negators[tok] {
+			prev = ""
+			continue
+		}
+		t := tok
+		if r.stem {
+			t = text.Stem(tok)
+		}
+		idx, sign := r.hash(t)
+		counts[idx] += sign
+		// Bigram with the previous kept token captures "not good".
+		if prev != "" {
+			bidx, bsign := r.hash(prev + "_" + t)
+			counts[bidx] += bsign
+		}
+		prev = t
+	}
+	vec := text.SparseVec{}
+	norm := 0.0
+	for _, v := range counts {
+		norm += v * v
+	}
+	if norm == 0 {
+		return vec
+	}
+	norm = math.Sqrt(norm)
+	// Deterministic order.
+	idxs := make([]int32, 0, len(counts))
+	for idx := range counts {
+		idxs = append(idxs, idx)
+	}
+	sortInt32(idxs)
+	for _, idx := range idxs {
+		vec.Idx = append(vec.Idx, idx)
+		vec.Val = append(vec.Val, counts[idx]/norm)
+	}
+	return vec
+}
+
+func (r *Ridge) hash(s string) (int32, float64) {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	v := h.Sum64()
+	idx := int32(v % uint64(r.dim))
+	sign := 1.0
+	if (v>>63)&1 == 1 {
+		sign = -1
+	}
+	return idx, sign
+}
+
+// EstimateSentence predicts the sentiment of a tokenized sentence,
+// clamped to [-1, +1].
+func (r *Ridge) EstimateSentence(tokens []string) float64 {
+	vec := r.features(tokens)
+	s := r.bias
+	for j, idx := range vec.Idx {
+		s += vec.Val[j] * r.weights[idx]
+	}
+	return clamp(s)
+}
+
+func sortInt32(a []int32) {
+	// Insertion sort: feature sets per sentence are tiny.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package server exposes the summarizer as a small JSON-over-HTTP
+// service, the deployment shape a review site would embed the library
+// in. It is stdlib-only (net/http) and stateless: every request
+// carries the item's raw reviews; annotation and selection run per
+// request against the server's configured ontology.
+//
+// Endpoints:
+//
+//	GET  /healthz        → 200 "ok"
+//	GET  /v1/ontology    → the configured ontology as JSON
+//	POST /v1/summarize   → SummarizeRequest → SummarizeResponse
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"osars"
+)
+
+// SummarizeRequest is the POST /v1/summarize body.
+type SummarizeRequest struct {
+	ItemID   string      `json:"item_id"`
+	ItemName string      `json:"item_name"`
+	Reviews  []RawReview `json:"reviews"`
+	// K is the summary size (required, ≥ 1).
+	K int `json:"k"`
+	// Granularity: "pairs", "sentences" (default) or "reviews".
+	Granularity string `json:"granularity"`
+	// Method: "greedy" (default), "rr", "ilp" or "local-search".
+	Method string `json:"method"`
+}
+
+// RawReview is one review in a request.
+type RawReview struct {
+	ID     string  `json:"id"`
+	Text   string  `json:"text"`
+	Rating float64 `json:"rating"`
+}
+
+// SummarizeResponse is the POST /v1/summarize reply.
+type SummarizeResponse struct {
+	ItemID      string     `json:"item_id"`
+	Granularity string     `json:"granularity"`
+	Method      string     `json:"method"`
+	Cost        float64    `json:"cost"`
+	NumPairs    int        `json:"num_pairs"`
+	Pairs       []PairJSON `json:"pairs,omitempty"`
+	Sentences   []string   `json:"sentences,omitempty"`
+	ReviewIDs   []string   `json:"review_ids,omitempty"`
+	ElapsedMS   float64    `json:"elapsed_ms"`
+}
+
+// PairJSON renders a concept-sentiment pair with its concept name.
+type PairJSON struct {
+	Concept   string  `json:"concept"`
+	Sentiment float64 `json:"sentiment"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server handles the HTTP API around one Summarizer. Create with New;
+// it implements http.Handler.
+type Server struct {
+	sum *osars.Summarizer
+	mux *http.ServeMux
+	// MaxReviews rejects oversized requests (default 10000).
+	MaxReviews int
+}
+
+// New builds the handler.
+func New(s *osars.Summarizer) *Server {
+	srv := &Server{sum: s, mux: http.NewServeMux(), MaxReviews: 10000}
+	srv.mux.HandleFunc("/healthz", srv.handleHealth)
+	srv.mux.HandleFunc("/v1/ontology", srv.handleOntology)
+	srv.mux.HandleFunc("/v1/summarize", srv.handleSummarize)
+	return srv
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sum.Metric().Ont)
+}
+
+func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req SummarizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.K < 1 {
+		writeError(w, http.StatusBadRequest, "k must be ≥ 1")
+		return
+	}
+	if len(req.Reviews) == 0 {
+		writeError(w, http.StatusBadRequest, "reviews must be non-empty")
+		return
+	}
+	if len(req.Reviews) > s.MaxReviews {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("too many reviews (%d > %d)", len(req.Reviews), s.MaxReviews))
+		return
+	}
+	gran, err := osars.ParseGranularity(req.Granularity)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	method, err := osars.ParseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	reviews := make([]osars.Review, len(req.Reviews))
+	for i, rr := range req.Reviews {
+		reviews[i] = osars.Review{ID: rr.ID, Text: rr.Text, Rating: rr.Rating}
+	}
+	start := time.Now()
+	item := s.sum.AnnotateItem(req.ItemID, req.ItemName, reviews)
+	summary, err := s.sum.Summarize(item, req.K, gran, method)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := SummarizeResponse{
+		ItemID:      req.ItemID,
+		Granularity: gran.String(),
+		Method:      method.String(),
+		Cost:        summary.Cost,
+		NumPairs:    len(item.Pairs()),
+		Sentences:   summary.Sentences,
+		ReviewIDs:   summary.ReviewIDs,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, p := range summary.Pairs {
+		resp.Pairs = append(resp.Pairs, PairJSON{
+			Concept:   s.sum.Metric().Ont.Name(p.Concept),
+			Sentiment: p.Sentiment,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

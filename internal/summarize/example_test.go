@@ -1,0 +1,47 @@
+package summarize_test
+
+import (
+	"fmt"
+
+	"osars/internal/coverage"
+	"osars/internal/model"
+	"osars/internal/ontology"
+	"osars/internal/summarize"
+)
+
+// Example selects the 2 most representative concept-sentiment pairs of
+// a small multiset with the greedy algorithm (Algorithm 2).
+func Example() {
+	var b ontology.Builder
+	phone := b.AddConcept("phone")
+	screen := b.Child(phone, "screen")
+	res := b.Child(screen, "resolution")
+	battery := b.Child(phone, "battery")
+	ont, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	// Three positive screen-side mentions and two negative battery
+	// mentions: a good 2-summary covers one of each side. The deep
+	// resolution pairs are worth more to cover (root distance 2), so
+	// greedy picks a resolution pair, then a battery pair.
+	P := []model.Pair{
+		{Concept: screen, Sentiment: 0.8},
+		{Concept: res, Sentiment: 0.7},
+		{Concept: res, Sentiment: 0.9},
+		{Concept: battery, Sentiment: -0.9},
+		{Concept: battery, Sentiment: -0.8},
+	}
+	g := coverage.BuildPairs(model.Metric{Ont: ont, Epsilon: 0.5}, P)
+	result := summarize.Greedy(g, 2)
+	for _, idx := range result.Selected {
+		p := P[idx]
+		fmt.Printf("%s = %+.1f\n", ont.Name(p.Concept), p.Sentiment)
+	}
+	fmt.Println("cost:", result.Cost)
+	// Output:
+	// resolution = +0.7
+	// battery = -0.9
+	// cost: 1
+}

@@ -1,0 +1,151 @@
+package summarize
+
+import (
+	"osars/internal/coverage"
+)
+
+// LocalSearchOptions tune LocalSearch. The zero value uses defaults.
+type LocalSearchOptions struct {
+	// MaxRounds caps full improvement passes (default 20; the search
+	// almost always converges in 2-3).
+	MaxRounds int
+	// MinImprovement is the smallest cost reduction that counts as an
+	// improving swap (default 1e-9).
+	MinImprovement float64
+}
+
+// LocalSearch is an extension beyond the paper's three algorithms: the
+// classic single-swap local search for k-medians (Arya et al. 2004),
+// seeded with the greedy summary. Each round scans all (selected,
+// unselected) swaps, applying the best improving one, until no swap
+// improves the cost. Swap deltas are evaluated in O(deg(u) + deg(v))
+// using per-pair best and second-best distances, so a round costs
+// O(k·|E|) rather than O(k·n·|E|).
+//
+// It can only improve on Greedy and, like any 1-swap local optimum for
+// k-median, is within a constant factor of optimal.
+func LocalSearch(g *coverage.Graph, k int, opt *LocalSearchOptions) *Result {
+	checkK(g, k)
+	var o LocalSearchOptions
+	if opt != nil {
+		o = *opt
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 20
+	}
+	if o.MinImprovement <= 0 {
+		o.MinImprovement = 1e-9
+	}
+
+	seed := Greedy(g, k)
+	selected := make([]bool, g.NumCandidates)
+	for _, u := range seed.Selected {
+		selected[u] = true
+	}
+	cur := seed.Cost
+
+	nPairs := len(g.Pairs)
+	// best1/best2: smallest and second-smallest distance to each pair
+	// over the selected set, with the root fallback folded in as a
+	// virtual owner (-1).
+	best1 := make([]int32, nPairs)
+	own1 := make([]int32, nPairs)
+	best2 := make([]int32, nPairs)
+	recompute := func() {
+		for w := range g.Pairs {
+			best1[w], own1[w], best2[w] = g.RootDist[w], -1, g.RootDist[w]
+			g.Coverers(w, func(u, dist int) bool {
+				if !selected[u] {
+					return true
+				}
+				d := int32(dist)
+				switch {
+				case d < best1[w] || (d == best1[w] && own1[w] == -1):
+					best2[w] = best1[w]
+					best1[w], own1[w] = d, int32(u)
+				case d < best2[w]:
+					best2[w] = d
+				}
+				return true
+			})
+		}
+	}
+	recompute()
+
+	// swapDelta evaluates removing u and adding v. Affected pairs are
+	// exactly cov(u) ∪ cov(v); a stamp array merges the two passes.
+	stamp := make([]int32, nPairs)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	stampGen := int32(0)
+	vDist := make([]int32, nPairs)
+	swapDelta := func(u, v int) float64 {
+		stampGen++
+		delta := 0
+		g.Covered(v, func(w, dist int) bool {
+			stamp[w] = stampGen
+			vDist[w] = int32(dist)
+			return true
+		})
+		g.Covered(u, func(w, dist int) bool {
+			newBest := best1[w]
+			if own1[w] == int32(u) {
+				newBest = best2[w]
+			}
+			if stamp[w] == stampGen {
+				if vDist[w] < newBest {
+					newBest = vDist[w]
+				}
+				stamp[w] = -1 // consumed; skip in v's pass below
+			}
+			delta += int(newBest-best1[w]) * int(g.Weight[w])
+			return true
+		})
+		g.Covered(v, func(w, dist int) bool {
+			if stamp[w] != stampGen {
+				return true // already handled with u's coverage
+			}
+			if d := int32(dist); d < best1[w] {
+				delta += int(d-best1[w]) * int(g.Weight[w])
+			}
+			return true
+		})
+		return float64(delta)
+	}
+
+	for round := 0; round < o.MaxRounds; round++ {
+		bestU, bestV := -1, -1
+		bestDelta := -o.MinImprovement
+		for u := 0; u < g.NumCandidates; u++ {
+			if !selected[u] {
+				continue
+			}
+			for v := 0; v < g.NumCandidates; v++ {
+				if selected[v] {
+					continue
+				}
+				if d := swapDelta(u, v); d < bestDelta {
+					bestDelta, bestU, bestV = d, u, v
+				}
+			}
+		}
+		if bestU < 0 {
+			break // local optimum
+		}
+		selected[bestU] = false
+		selected[bestV] = true
+		cur += bestDelta
+		recompute()
+	}
+
+	res := &Result{Selected: make([]int, 0, k), Cost: cur}
+	for u, on := range selected {
+		if on {
+			res.Selected = append(res.Selected, u)
+		}
+	}
+	// Guard against float drift in the accumulated cost.
+	res.Cost = g.CostOf(res.Selected)
+	return res
+}

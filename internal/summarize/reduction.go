@@ -1,0 +1,158 @@
+package summarize
+
+import (
+	"fmt"
+
+	"osars/internal/model"
+	"osars/internal/ontology"
+)
+
+// SetCoverInstance is an instance (S, U, k) of Set Cover: Universe
+// elements are 0..Universe-1 and each set lists the elements it
+// contains.
+type SetCoverInstance struct {
+	Universe int
+	Sets     [][]int
+}
+
+// Reduction is the paper's §3 gadget mapping a Set Cover instance to a
+// k-Pairs Coverage instance (Fig 2):
+//
+//   - a DAG with root r; for each set Sᵢ, concepts cᵢ (child of r) and
+//     eᵢ (child of cᵢ); for each element uⱼ, a concept dⱼ that is a
+//     child of cᵢ for every set Sᵢ containing uⱼ;
+//   - 2m+n pairs, one per non-root concept, all with sentiment 0;
+//   - target cost t = 3m + n − 2k.
+//
+// Theorem 1: S has a set cover of size k iff the k-Pairs instance has
+// a size-k summary of cost ≤ t.
+type Reduction struct {
+	Metric model.Metric
+	Pairs  []model.Pair
+	// CPair[i] is the index in Pairs of set Sᵢ's cᵢ pair, so a summary
+	// can be translated back to a candidate set cover.
+	CPair []int
+	// Target is t = 3m + n − 2k.
+	Target float64
+	K      int
+}
+
+// NewReduction builds the gadget for the given instance and summary
+// size k. It fails if an element belongs to no set (the Set Cover
+// instance itself is then unsatisfiable and the gadget DAG would leave
+// dⱼ unreachable).
+func NewReduction(inst SetCoverInstance, k int) (*Reduction, error) {
+	m := len(inst.Sets)
+	n := inst.Universe
+	if k > m {
+		return nil, fmt.Errorf("summarize: reduction k = %d exceeds number of sets %d", k, m)
+	}
+	var b ontology.Builder
+	root := b.AddConcept("r")
+	c := make([]ontology.ConceptID, m)
+	e := make([]ontology.ConceptID, m)
+	for i := 0; i < m; i++ {
+		c[i] = b.Child(root, fmt.Sprintf("c%d", i))
+		e[i] = b.Child(c[i], fmt.Sprintf("e%d", i))
+	}
+	d := make([]ontology.ConceptID, n)
+	seen := make([]bool, n)
+	for i, set := range inst.Sets {
+		for _, u := range set {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("summarize: reduction element %d out of universe [0,%d)", u, n)
+			}
+			if !seen[u] {
+				d[u] = b.AddConcept(fmt.Sprintf("d%d", u))
+				seen[u] = true
+			}
+			if err := b.AddEdge(c[i], d[u]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if !seen[u] {
+			return nil, fmt.Errorf("summarize: element %d belongs to no set", u)
+		}
+	}
+	ont, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Reduction{
+		Metric: model.Metric{Ont: ont, Epsilon: 0.5},
+		CPair:  make([]int, m),
+		Target: float64(3*m + n - 2*k),
+		K:      k,
+	}
+	// One pair per non-root concept, all with sentiment 0; cᵢ pairs
+	// first so CPair is easy to track.
+	for i := 0; i < m; i++ {
+		r.CPair[i] = len(r.Pairs)
+		r.Pairs = append(r.Pairs, model.Pair{Concept: c[i]})
+	}
+	for i := 0; i < m; i++ {
+		r.Pairs = append(r.Pairs, model.Pair{Concept: e[i]})
+	}
+	for u := 0; u < n; u++ {
+		r.Pairs = append(r.Pairs, model.Pair{Concept: d[u]})
+	}
+	return r, nil
+}
+
+// CoverFromSummary translates a summary (pair indices) back to the
+// sets whose cᵢ pair was selected.
+func (r *Reduction) CoverFromSummary(selected []int) []int {
+	inv := make(map[int]int, len(r.CPair))
+	for set, pairIdx := range r.CPair {
+		inv[pairIdx] = set
+	}
+	var cover []int
+	for _, s := range selected {
+		if set, ok := inv[s]; ok {
+			cover = append(cover, set)
+		}
+	}
+	return cover
+}
+
+// IsCover reports whether the listed sets cover the whole universe.
+func (inst SetCoverInstance) IsCover(sets []int) bool {
+	covered := make([]bool, inst.Universe)
+	count := 0
+	for _, s := range sets {
+		for _, u := range inst.Sets[s] {
+			if !covered[u] {
+				covered[u] = true
+				count++
+			}
+		}
+	}
+	return count == inst.Universe
+}
+
+// HasCoverOfSize answers, by enumeration, whether a set cover of size
+// exactly k exists (test oracle; exponential).
+func (inst SetCoverInstance) HasCoverOfSize(k int) bool {
+	m := len(inst.Sets)
+	if k > m {
+		return false
+	}
+	sel := make([]int, k)
+	var rec func(start, depth int) bool
+	rec = func(start, depth int) bool {
+		if depth == k {
+			return inst.IsCover(sel)
+		}
+		for i := start; i <= m-(k-depth); i++ {
+			sel[depth] = i
+			if rec(i+1, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}

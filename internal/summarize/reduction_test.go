@@ -1,0 +1,147 @@
+package summarize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osars/internal/coverage"
+)
+
+func TestReductionPaperExampleDirection(t *testing.T) {
+	// S0={0,1}, S1={1,2}, S2={2,3}: universe {0..3}, m=3, n=4.
+	// {S0,S2} is a cover of size 2 → t = 3·3 + 4 − 2·2 = 9.
+	inst := SetCoverInstance{Universe: 4, Sets: [][]int{{0, 1}, {1, 2}, {2, 3}}}
+	r, err := NewReduction(inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Target != 9 {
+		t.Fatalf("target = %v, want 9", r.Target)
+	}
+	g := coverage.BuildPairs(r.Metric, r.Pairs)
+	opt := BruteForce(g, 2)
+	if opt.Cost > r.Target {
+		t.Fatalf("optimal cost %v exceeds target %v despite existing cover", opt.Cost, r.Target)
+	}
+	// Selecting exactly the cᵢ pairs of the cover must achieve t.
+	sel := []int{r.CPair[0], r.CPair[2]}
+	if got := g.CostOf(sel); got != r.Target {
+		t.Fatalf("cover selection cost = %v, want target %v", got, r.Target)
+	}
+}
+
+func TestReductionNoCoverDirection(t *testing.T) {
+	// Disjoint singletons: no cover of size 1 for a 2-element universe.
+	inst := SetCoverInstance{Universe: 2, Sets: [][]int{{0}, {1}}}
+	r, err := NewReduction(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := coverage.BuildPairs(r.Metric, r.Pairs)
+	opt := BruteForce(g, 1)
+	if opt.Cost <= r.Target {
+		t.Fatalf("cost %v ≤ target %v but no size-1 cover exists", opt.Cost, r.Target)
+	}
+}
+
+func TestReductionRejectsUncoveredElement(t *testing.T) {
+	inst := SetCoverInstance{Universe: 3, Sets: [][]int{{0, 1}}}
+	if _, err := NewReduction(inst, 1); err == nil {
+		t.Fatal("expected error for element in no set")
+	}
+}
+
+func TestReductionRejectsBadK(t *testing.T) {
+	inst := SetCoverInstance{Universe: 1, Sets: [][]int{{0}}}
+	if _, err := NewReduction(inst, 5); err == nil {
+		t.Fatal("expected error for k > m")
+	}
+}
+
+func TestReductionRejectsOutOfRangeElement(t *testing.T) {
+	inst := SetCoverInstance{Universe: 2, Sets: [][]int{{0, 5}}}
+	if _, err := NewReduction(inst, 1); err == nil {
+		t.Fatal("expected error for out-of-range element")
+	}
+}
+
+func TestCoverFromSummary(t *testing.T) {
+	inst := SetCoverInstance{Universe: 3, Sets: [][]int{{0, 1}, {1, 2}, {0, 2}}}
+	r, err := NewReduction(inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := []int{r.CPair[1], r.CPair[2], len(r.Pairs) - 1} // two c pairs + one d pair
+	cover := r.CoverFromSummary(sel)
+	if len(cover) != 2 || !inst.IsCover(cover) {
+		t.Fatalf("CoverFromSummary = %v, want cover {1,2}", cover)
+	}
+}
+
+func TestIsCoverAndHasCoverOfSize(t *testing.T) {
+	inst := SetCoverInstance{Universe: 4, Sets: [][]int{{0, 1}, {2}, {3}, {2, 3}}}
+	if !inst.IsCover([]int{0, 3}) {
+		t.Fatal("IsCover({0,3}) = false")
+	}
+	if inst.IsCover([]int{0, 1}) {
+		t.Fatal("IsCover({0,1}) = true")
+	}
+	if !inst.HasCoverOfSize(2) {
+		t.Fatal("HasCoverOfSize(2) = false")
+	}
+	if inst.HasCoverOfSize(1) {
+		t.Fatal("HasCoverOfSize(1) = true")
+	}
+	if inst.HasCoverOfSize(9) {
+		t.Fatal("HasCoverOfSize(9) = true for k > m")
+	}
+}
+
+// TestQuickTheorem1 verifies the NP-hardness reduction on random Set
+// Cover instances: a size-k cover exists iff the optimal size-k
+// summary of the gadget costs at most t = 3m + n − 2k (both directions
+// of the Theorem 1 proof).
+func TestQuickTheorem1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(4)
+		inst := SetCoverInstance{Universe: n, Sets: make([][]int, m)}
+		covered := make([]bool, n)
+		for i := range inst.Sets {
+			for u := 0; u < n; u++ {
+				if rng.Intn(2) == 0 {
+					inst.Sets[i] = append(inst.Sets[i], u)
+					covered[u] = true
+				}
+			}
+		}
+		// Patch any uncovered element into a random set so the gadget
+		// is well-formed.
+		for u, c := range covered {
+			if !c {
+				i := rng.Intn(m)
+				inst.Sets[i] = append(inst.Sets[i], u)
+			}
+		}
+		for k := 1; k <= m; k++ {
+			r, err := NewReduction(inst, k)
+			if err != nil {
+				t.Logf("reduction: %v", err)
+				return false
+			}
+			g := coverage.BuildPairs(r.Metric, r.Pairs)
+			opt := BruteForce(g, k)
+			hasCover := inst.HasCoverOfSize(k)
+			if hasCover != (opt.Cost <= r.Target) {
+				t.Logf("seed %d k %d: hasCover=%v but opt=%v target=%v", seed, k, hasCover, opt.Cost, r.Target)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,366 @@
+// Package summarize implements the paper's three summary-selection
+// algorithms (§4) over a precomputed coverage graph:
+//
+//   - Greedy (§4.4, Algorithm 2): submodular greedy with an indexed
+//     max-heap and neighbor-of-neighbor key updates; Wolsey's bound
+//     (Theorem 4) applies.
+//   - RandomizedRounding (§4.3, Algorithm 1): solve the LP relaxation,
+//     then sample k candidates without replacement from x/‖x‖₁; the
+//     bound of Theorem 3 applies.
+//   - ILP (§4.2): exact optimum by branch and bound on the k-medians
+//     integer program.
+//
+// All three work at any granularity (pairs, sentences, whole reviews)
+// because the granularity is fixed earlier, when the coverage graph is
+// built (§4.5). BruteForce is a test oracle for tiny instances.
+package summarize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"osars/internal/coverage"
+	"osars/internal/lp"
+	"osars/internal/pq"
+)
+
+// Result is a computed summary: the selected candidate indices (in
+// selection order for Greedy, ascending otherwise) and the exact
+// Definition-2 cost of the selection.
+type Result struct {
+	Selected []int
+	Cost     float64
+
+	// Diagnostics, populated by the algorithm that produced the
+	// result; zero when not applicable.
+
+	// LPIters counts simplex pivots (RR and ILP).
+	LPIters int
+	// Nodes counts branch-and-bound nodes (ILP).
+	Nodes int
+	// LPObjective is the fractional lower bound (RR).
+	LPObjective float64
+}
+
+func checkK(g *coverage.Graph, k int) {
+	if k < 0 || k > g.NumCandidates {
+		panic(fmt.Sprintf("summarize: k = %d out of range [0, %d]", k, g.NumCandidates))
+	}
+}
+
+// Greedy runs Algorithm 2: start from F = {root}, repeat k times
+// adding the candidate with the largest cost reduction δ(p, F), chosen
+// by an indexed max-heap whose keys are updated incrementally through
+// the covered pairs' coverer lists (the "neighbors of neighbors" of
+// the selected candidate).
+func Greedy(g *coverage.Graph, k int) *Result {
+	checkK(g, k)
+	n := g.NumCandidates
+
+	// curDist[w] = current distance from F ∪ {root} to pair w.
+	curDist := make([]int32, len(g.Pairs))
+	copy(curDist, g.RootDist)
+
+	// Initial keys: δ(u, {root}) = Σ_w max(0, RootDist[w] − d(u,w)).
+	keys := make([]float64, n)
+	for u := 0; u < n; u++ {
+		gain := 0.0
+		g.Covered(u, func(w, d int) bool {
+			if diff := int(curDist[w]) - d; diff > 0 {
+				gain += float64(diff * int(g.Weight[w]))
+			}
+			return true
+		})
+		keys[u] = gain
+	}
+	heap := pq.NewMax(n)
+	heap.BuildFrom(keys)
+
+	res := &Result{Selected: make([]int, 0, k)}
+	for len(res.Selected) < k {
+		u, _ := heap.PopMax()
+		res.Selected = append(res.Selected, u)
+		// Tighten covered pairs and adjust affected coverers' keys.
+		g.Covered(u, func(w, d int) bool {
+			old := int(curDist[w])
+			if d >= old {
+				return true
+			}
+			g.Coverers(w, func(q, dq int) bool {
+				if !heap.Contains(q) {
+					return true
+				}
+				oldContrib := old - dq
+				if oldContrib < 0 {
+					oldContrib = 0
+				}
+				newContrib := d - dq
+				if newContrib < 0 {
+					newContrib = 0
+				}
+				if delta := newContrib - oldContrib; delta != 0 {
+					heap.Update(q, heap.Key(q)+float64(delta*int(g.Weight[w])))
+				}
+				return true
+			})
+			curDist[w] = int32(d)
+			return true
+		})
+	}
+	total := 0
+	for w, d := range curDist {
+		total += int(d) * int(g.Weight[w])
+	}
+	res.Cost = float64(total)
+	return res
+}
+
+// GreedyRebuild is the ablation variant of Greedy (DESIGN.md ablation
+// 1): instead of incremental neighbor-of-neighbor key updates it
+// recomputes every candidate's gain and rebuilds the heap after each
+// selection. Same output, asymptotically slower.
+func GreedyRebuild(g *coverage.Graph, k int) *Result {
+	checkK(g, k)
+	n := g.NumCandidates
+	curDist := make([]int32, len(g.Pairs))
+	copy(curDist, g.RootDist)
+	selected := make([]bool, n)
+	res := &Result{Selected: make([]int, 0, k)}
+	for len(res.Selected) < k {
+		bestU, bestGain := -1, -1.0
+		for u := 0; u < n; u++ {
+			if selected[u] {
+				continue
+			}
+			gain := 0.0
+			g.Covered(u, func(w, d int) bool {
+				if diff := int(curDist[w]) - d; diff > 0 {
+					gain += float64(diff * int(g.Weight[w]))
+				}
+				return true
+			})
+			if gain > bestGain {
+				bestU, bestGain = u, gain
+			}
+		}
+		selected[bestU] = true
+		res.Selected = append(res.Selected, bestU)
+		g.Covered(bestU, func(w, d int) bool {
+			if int32(d) < curDist[w] {
+				curDist[w] = int32(d)
+			}
+			return true
+		})
+	}
+	total := 0
+	for w, d := range curDist {
+		total += int(d) * int(g.Weight[w])
+	}
+	res.Cost = float64(total)
+	return res
+}
+
+// RandomizedRounding runs Algorithm 1: solve the LP relaxation of the
+// k-medians program, then draw k candidates without replacement from
+// the distribution q(p) = x_p / Σ x_p. The rng makes runs reproducible;
+// lpOpt may be nil for defaults.
+func RandomizedRounding(g *coverage.Graph, k int, rng *rand.Rand, lpOpt *lp.Options) (*Result, error) {
+	checkK(g, k)
+	m := lp.NewKMedianModel(g, k)
+	lpRes, err := m.SolveLP(lpOpt)
+	if err != nil {
+		return nil, fmt.Errorf("summarize: randomized rounding: %w", err)
+	}
+	sel := sampleWithoutReplacement(lpRes.X, k, rng)
+	sort.Ints(sel)
+	return &Result{
+		Selected:    sel,
+		Cost:        g.CostOf(sel),
+		LPIters:     lpRes.Iters,
+		LPObjective: lpRes.Objective,
+	}, nil
+}
+
+// sampleWithoutReplacement draws k indices from the weight vector w
+// without replacement (weights of drawn indices are removed before the
+// next draw), matching Algorithm 1's "sample one pair without
+// replacement from q" loop.
+func sampleWithoutReplacement(w []float64, k int, rng *rand.Rand) []int {
+	weights := append([]float64(nil), w...)
+	total := 0.0
+	for i, x := range weights {
+		if x < 0 {
+			weights[i] = 0
+			continue
+		}
+		total += x
+	}
+	out := make([]int, 0, k)
+	taken := make([]bool, len(weights))
+	for len(out) < k {
+		if total <= 1e-12 {
+			// Degenerate fractional mass (fewer than k positive
+			// weights after numerical cleanup): fill deterministically
+			// with the lowest untaken indices.
+			for i := range weights {
+				if !taken[i] {
+					taken[i] = true
+					out = append(out, i)
+					if len(out) == k {
+						break
+					}
+				}
+			}
+			break
+		}
+		r := rng.Float64() * total
+		pick := -1
+		for i, x := range weights {
+			if taken[i] || x <= 0 {
+				continue
+			}
+			r -= x
+			if r <= 0 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 { // float roundoff: take the last positive weight
+			for i := len(weights) - 1; i >= 0; i-- {
+				if !taken[i] && weights[i] > 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		taken[pick] = true
+		out = append(out, pick)
+		total -= weights[pick]
+		weights[pick] = 0
+	}
+	return out
+}
+
+// RandomizedRoundingBest is the multi-trial extension of Algorithm 1:
+// the LP relaxation is solved once, the rounding step is repeated
+// `trials` times, and the cheapest sampled summary is kept. The paper
+// rounds once; this variant trades a little selection time for the
+// variance reduction measured by BenchmarkAblationRRTrials.
+func RandomizedRoundingBest(g *coverage.Graph, k, trials int, rng *rand.Rand, lpOpt *lp.Options) (*Result, error) {
+	checkK(g, k)
+	if trials < 1 {
+		trials = 1
+	}
+	m := lp.NewKMedianModel(g, k)
+	lpRes, err := m.SolveLP(lpOpt)
+	if err != nil {
+		return nil, fmt.Errorf("summarize: randomized rounding: %w", err)
+	}
+	best := &Result{Cost: math.Inf(1), LPIters: lpRes.Iters, LPObjective: lpRes.Objective}
+	for t := 0; t < trials; t++ {
+		sel := sampleWithoutReplacement(lpRes.X, k, rng)
+		if c := g.CostOf(sel); c < best.Cost {
+			sort.Ints(sel)
+			best.Selected = sel
+			best.Cost = c
+		}
+	}
+	return best, nil
+}
+
+// ILP computes the exact optimal summary (§4.2). It first runs Greedy
+// to obtain an incumbent, which both prunes the branch-and-bound tree
+// and serves as the answer when the tree proves the greedy summary
+// already optimal. mipOpt may be nil for defaults.
+func ILP(g *coverage.Graph, k int, mipOpt *lp.MIPOptions) (*Result, error) {
+	checkK(g, k)
+	inc := Greedy(g, k)
+	m := lp.NewKMedianModel(g, k)
+	// Nodes tying the incumbent are pruned, so nil Selected from the
+	// solver means the greedy summary is optimal and we return it.
+	incObj := inc.Cost
+	res, err := m.SolveILP(&incObj, mipOpt)
+	if err != nil {
+		return nil, fmt.Errorf("summarize: ILP: %w", err)
+	}
+	out := &Result{LPIters: res.LPIters, Nodes: res.Nodes}
+	if res.Selected == nil || res.Objective >= inc.Cost-1e-9 {
+		sel := append([]int(nil), inc.Selected...)
+		sort.Ints(sel)
+		out.Selected = sel
+		out.Cost = inc.Cost
+		return out, nil
+	}
+	out.Selected = res.Selected
+	out.Cost = g.CostOf(res.Selected)
+	if math.Abs(out.Cost-res.Objective) > 1e-6 {
+		return nil, fmt.Errorf("summarize: ILP objective %v disagrees with selection cost %v", res.Objective, out.Cost)
+	}
+	return out, nil
+}
+
+// BruteForce enumerates all size-k subsets; exponential, test oracle
+// only.
+func BruteForce(g *coverage.Graph, k int) *Result {
+	checkK(g, k)
+	n := g.NumCandidates
+	sel := make([]int, k)
+	best := math.Inf(1)
+	var bestSel []int
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			if c := g.CostOf(sel); c < best {
+				best = c
+				bestSel = append(bestSel[:0], sel...)
+			}
+			return
+		}
+		for i := start; i <= n-(k-depth); i++ {
+			sel[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return &Result{Selected: append([]int(nil), bestSel...), Cost: best}
+}
+
+// Algorithm names the three methods for harness configuration.
+type Algorithm int
+
+// The paper's three algorithms (§4), in the order of Figs 4-5.
+const (
+	AlgILP Algorithm = iota
+	AlgRR
+	AlgGreedy
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgILP:
+		return "ILP"
+	case AlgRR:
+		return "RR"
+	case AlgGreedy:
+		return "Greedy"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Run dispatches to the selected algorithm with default options. The
+// rng is used only by AlgRR.
+func Run(a Algorithm, g *coverage.Graph, k int, rng *rand.Rand) (*Result, error) {
+	switch a {
+	case AlgILP:
+		return ILP(g, k, nil)
+	case AlgRR:
+		return RandomizedRounding(g, k, rng, nil)
+	case AlgGreedy:
+		return Greedy(g, k), nil
+	default:
+		return nil, fmt.Errorf("summarize: unknown algorithm %v", a)
+	}
+}

@@ -1,0 +1,91 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize: no panic, tokens are lowercase, and tokens contain no
+// separator characters.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "Hello, World!", "don't stop", "touch-screen", "3.5 stars",
+		"ünïcödé rev1ew", "a-", "-a", "''", "日本語のレビュー", "a\x00b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lowercase", tok)
+			}
+			for _, r := range tok {
+				if unicode.IsSpace(r) || r == '.' || r == ',' || r == '!' {
+					t.Fatalf("token %q contains separator", tok)
+				}
+			}
+		}
+	})
+}
+
+// FuzzSplitSentences: no panic, output pieces are trimmed and
+// non-empty, and every non-space rune of the input appears in order in
+// the concatenated output.
+func FuzzSplitSentences(f *testing.F) {
+	for _, seed := range []string{
+		"", "One. Two!", "Dr. Smith is great.", "3.5 stars...",
+		"Really?! Yes.", "line\nbreak", "…", ". . .",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		parts := SplitSentences(s)
+		for _, p := range parts {
+			if p == "" || strings.TrimSpace(p) != p {
+				t.Fatalf("untrimmed or empty sentence %q", p)
+			}
+		}
+		// Content preservation: non-space runes survive in order.
+		var want, got []rune
+		for _, r := range s {
+			if !unicode.IsSpace(r) {
+				want = append(want, r)
+			}
+		}
+		for _, p := range parts {
+			for _, r := range p {
+				if !unicode.IsSpace(r) {
+					got = append(got, r)
+				}
+			}
+		}
+		if string(want) != string(got) {
+			t.Fatalf("content changed:\n in: %q\nout: %q", string(want), string(got))
+		}
+	})
+}
+
+// FuzzStem: no panic, output non-longer than input for ASCII words,
+// and ≤2-rune words pass through unchanged.
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "running", "caresses", "sky", "yyyy", "ss", "ies",
+		"agreed", "controlling", "ational",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := Stem(s)
+		if len(s) <= 2 && out != s {
+			t.Fatalf("short word changed: %q → %q", s, out)
+		}
+		if len(out) > len(s)+1 {
+			// Porter may add back an 'e' (step 1b), never more.
+			t.Fatalf("stem grew: %q → %q", s, out)
+		}
+	})
+}

@@ -1,0 +1,285 @@
+package text
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"don't stop", []string{"don't", "stop"}},
+		{"touch-screen phone", []string{"touch-screen", "phone"}},
+		{"5.5 inch display", []string{"5", "5", "inch", "display"}},
+		{"", nil},
+		{"   ", nil},
+		{"A+B", []string{"a", "b"}},
+		{"trailing-", []string{"trailing"}},
+		{"rock'", []string{"rock"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Great phone. Bad battery!", []string{"Great phone.", "Bad battery!"}},
+		{"Dr. Smith is great. I recommend him.", []string{"Dr. Smith is great.", "I recommend him."}},
+		{"It costs 3.5 dollars. Cheap!", []string{"It costs 3.5 dollars.", "Cheap!"}},
+		{"Really?! Yes.", []string{"Really?!", "Yes."}},
+		{"Wait... what. Ok", []string{"Wait...", "what.", "Ok"}},
+		{"line one\nline two", []string{"line one", "line two"}},
+		{"J. Doe was here.", []string{"J. Doe was here."}},
+		{"", nil},
+		{"no terminator", []string{"no terminator"}},
+	}
+	for _, c := range cases {
+		if got := SplitSentences(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitSentences(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	if !IsStopword("the") || IsStopword("display") {
+		t.Fatal("IsStopword wrong")
+	}
+	got := RemoveStopwords([]string{"the", "display", "is", "great"})
+	if !reflect.DeepEqual(got, []string{"display", "great"}) {
+		t.Fatalf("RemoveStopwords = %v", got)
+	}
+}
+
+func TestPorterStemmerKnownPairs(t *testing.T) {
+	// Classic vectors from Porter's paper and reference
+	// implementations.
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "ox"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestQuickStemIdempotentEnough(t *testing.T) {
+	// Stemming the review-domain vocabulary twice equals stemming once
+	// for the overwhelming majority of words; check a fixed vocabulary
+	// rather than random strings (Porter is not idempotent on
+	// adversarial inputs, and neither is the reference algorithm).
+	words := []string{
+		"batteries", "screens", "charging", "displays", "doctors",
+		"recommended", "excellent", "disappointed", "amazing",
+		"waiting", "experience", "friendly",
+		"knowledgeable", "comfortable", "helpful", "listening",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not stable on %q: %q → %q", w, once, twice)
+		}
+	}
+}
+
+func TestVectorizerTFIDF(t *testing.T) {
+	corpus := [][]string{
+		{"great", "screen", "great"},
+		{"bad", "battery"},
+		{"screen", "battery"},
+	}
+	v := NewVectorizer(corpus, VectorizerOptions{})
+	if v.VocabSize() != 4 {
+		t.Fatalf("VocabSize = %d, want 4", v.VocabSize())
+	}
+	vec := v.Transform([]string{"great", "great", "unknown"})
+	if len(vec.Idx) != 1 {
+		t.Fatalf("Transform kept %d terms, want 1", len(vec.Idx))
+	}
+	// tf = 2, idf = ln(4/2)+1.
+	want := 2 * (math.Log(4.0/2.0) + 1)
+	if math.Abs(vec.Val[0]-want) > 1e-12 {
+		t.Fatalf("tfidf = %v, want %v", vec.Val[0], want)
+	}
+}
+
+func TestVectorizerMinDocFreq(t *testing.T) {
+	corpus := [][]string{{"common", "rare"}, {"common"}}
+	v := NewVectorizer(corpus, VectorizerOptions{MinDocFreq: 2})
+	if v.VocabSize() != 1 {
+		t.Fatalf("VocabSize = %d, want 1", v.VocabSize())
+	}
+	if vec := v.Transform([]string{"rare"}); len(vec.Idx) != 0 {
+		t.Fatal("dropped term leaked through Transform")
+	}
+}
+
+func TestVectorizerStemAndStopwords(t *testing.T) {
+	corpus := [][]string{{"the", "batteries", "are", "failing"}}
+	v := NewVectorizer(corpus, VectorizerOptions{Stem: true, DropStopwords: true})
+	if v.VocabSize() != 2 { // batteri, fail
+		t.Fatalf("VocabSize = %d, want 2", v.VocabSize())
+	}
+	vec := v.Transform([]string{"battery", "fails", "the"})
+	if len(vec.Idx) != 2 {
+		t.Fatalf("stemmed lookup failed: %v", vec)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := SparseVec{Idx: []int32{0, 2}, Val: []float64{1, 1}}
+	b := SparseVec{Idx: []int32{0, 1}, Val: []float64{1, 1}}
+	if got := CosineSimilarity(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("cos = %v, want 0.5", got)
+	}
+	if got := CosineSimilarity(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self cos = %v, want 1", got)
+	}
+	empty := SparseVec{}
+	if CosineSimilarity(a, empty) != 0 {
+		t.Fatal("cos with empty must be 0")
+	}
+}
+
+func TestQuickCosineBounds(t *testing.T) {
+	clamp := func(v float64) float64 {
+		// Keep magnitudes sane so the dot product cannot overflow.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Remainder(v, 1e6)
+	}
+	f := func(av, bv []float64) bool {
+		a := SparseVec{}
+		for i, v := range av {
+			if v = clamp(v); v != 0 {
+				a.Idx = append(a.Idx, int32(i))
+				a.Val = append(a.Val, v)
+			}
+		}
+		b := SparseVec{}
+		for i, v := range bv {
+			if v = clamp(v); v != 0 {
+				b.Idx = append(b.Idx, int32(i))
+				b.Val = append(b.Val, v)
+			}
+		}
+		c := CosineSimilarity(a, b)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordOverlap(t *testing.T) {
+	a := []string{"the", "screen", "is", "great"}
+	b := []string{"great", "screen", "indeed"}
+	got := WordOverlap(a, b, false, true)
+	// After stopword removal: {screen, great} vs {great, screen,
+	// indeed} → 2 shared / (ln 2 + ln 3).
+	want := 2 / (math.Log(2) + math.Log(3))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WordOverlap = %v, want %v", got, want)
+	}
+	if WordOverlap([]string{"one"}, b, false, false) != 0 {
+		t.Fatal("short sentence must yield 0")
+	}
+	if WordOverlap(a, []string{"nothing", "shared", "here"}, false, true) != 0 {
+		t.Fatal("disjoint sentences must yield 0")
+	}
+}

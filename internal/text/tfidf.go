@@ -1,0 +1,184 @@
+package text
+
+import (
+	"math"
+	"sort"
+)
+
+// SparseVec is a sparse feature vector sorted by term index.
+type SparseVec struct {
+	Idx []int32
+	Val []float64
+}
+
+// Norm returns the Euclidean norm.
+func (v SparseVec) Norm() float64 {
+	s := 0.0
+	for _, x := range v.Val {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// CosineSimilarity returns the cosine of two sparse vectors (0 when
+// either is empty).
+func CosineSimilarity(a, b SparseVec) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	dot := 0.0
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			j++
+		default:
+			dot += a.Val[i] * b.Val[j]
+			i++
+			j++
+		}
+	}
+	return dot / (na * nb)
+}
+
+// Vectorizer builds TF-IDF vectors over a corpus of tokenized
+// documents. Construct with NewVectorizer, which fixes the vocabulary
+// and document frequencies; Transform then maps any token list into
+// the fixed space.
+type Vectorizer struct {
+	vocab map[string]int32
+	idf   []float64
+	// Stemmed controls whether tokens are stemmed before lookup; it
+	// must match the flag used at construction.
+	Stemmed bool
+	// DropStopwords mirrors the construction-time stopword handling.
+	DropStopwords bool
+}
+
+// VectorizerOptions configure corpus preprocessing.
+type VectorizerOptions struct {
+	// Stem applies Porter stemming to every token.
+	Stem bool
+	// DropStopwords removes stopwords before counting.
+	DropStopwords bool
+	// MinDocFreq drops terms appearing in fewer documents (default 1).
+	MinDocFreq int
+}
+
+// NewVectorizer scans the corpus (one token slice per document) and
+// learns vocabulary + smoothed IDF: idf(t) = ln((1+N)/(1+df)) + 1.
+func NewVectorizer(corpus [][]string, opt VectorizerOptions) *Vectorizer {
+	if opt.MinDocFreq <= 0 {
+		opt.MinDocFreq = 1
+	}
+	v := &Vectorizer{
+		vocab:         make(map[string]int32),
+		Stemmed:       opt.Stem,
+		DropStopwords: opt.DropStopwords,
+	}
+	df := map[string]int{}
+	for _, doc := range corpus {
+		seen := map[string]bool{}
+		for _, tok := range doc {
+			t := v.prep(tok)
+			if t == "" || seen[t] {
+				continue
+			}
+			seen[t] = true
+			df[t]++
+		}
+	}
+	terms := make([]string, 0, len(df))
+	for t, n := range df {
+		if n >= opt.MinDocFreq {
+			terms = append(terms, t)
+		}
+	}
+	sort.Strings(terms) // deterministic vocabulary ids
+	n := len(corpus)
+	v.idf = make([]float64, len(terms))
+	for i, t := range terms {
+		v.vocab[t] = int32(i)
+		v.idf[i] = math.Log(float64(1+n)/float64(1+df[t])) + 1
+	}
+	return v
+}
+
+func (v *Vectorizer) prep(tok string) string {
+	if v.DropStopwords && IsStopword(tok) {
+		return ""
+	}
+	if v.Stemmed {
+		return Stem(tok)
+	}
+	return tok
+}
+
+// VocabSize reports the number of learned terms.
+func (v *Vectorizer) VocabSize() int { return len(v.idf) }
+
+// Transform maps a tokenized document to its TF-IDF vector. Unknown
+// terms are ignored.
+func (v *Vectorizer) Transform(doc []string) SparseVec {
+	counts := map[int32]float64{}
+	for _, tok := range doc {
+		t := v.prep(tok)
+		if t == "" {
+			continue
+		}
+		if id, ok := v.vocab[t]; ok {
+			counts[id]++
+		}
+	}
+	out := SparseVec{
+		Idx: make([]int32, 0, len(counts)),
+		Val: make([]float64, 0, len(counts)),
+	}
+	for id := range counts {
+		out.Idx = append(out.Idx, id)
+	}
+	sort.Slice(out.Idx, func(i, j int) bool { return out.Idx[i] < out.Idx[j] })
+	for _, id := range out.Idx {
+		out.Val = append(out.Val, counts[id]*v.idf[id])
+	}
+	return out
+}
+
+// WordOverlap returns the TextRank sentence-similarity measure: the
+// number of shared distinct (prepped) tokens normalized by
+// log|A| + log|B| (Mihalcea & Tarau 2004). Returns 0 for sentences
+// with fewer than 2 tokens after preprocessing.
+func WordOverlap(a, b []string, stem, dropStop bool) float64 {
+	prep := func(doc []string) map[string]bool {
+		out := map[string]bool{}
+		for _, tok := range doc {
+			if dropStop && IsStopword(tok) {
+				continue
+			}
+			if stem {
+				tok = Stem(tok)
+			}
+			if tok != "" {
+				out[tok] = true
+			}
+		}
+		return out
+	}
+	sa, sb := prep(a), prep(b)
+	if len(sa) < 2 || len(sb) < 2 {
+		return 0
+	}
+	shared := 0
+	for t := range sa {
+		if sb[t] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		return 0
+	}
+	return float64(shared) / (math.Log(float64(len(sa))) + math.Log(float64(len(sb))))
+}

@@ -1,0 +1,160 @@
+// Package text provides the text-processing primitives the extraction
+// pipeline and the baseline summarizers share: tokenization, sentence
+// splitting, stopwords, Porter stemming and TF-IDF vectorization.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases s and splits it into word tokens. Letters and
+// digits are kept; an apostrophe is kept when surrounded by letters
+// ("don't"), as is an internal hyphen ("touch-screen" stays one
+// token); everything else separates tokens.
+func Tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	runes := []rune(s)
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(unicode.ToLower(r))
+		case (r == '\'' || r == '-') && cur.Len() > 0 && i+1 < len(runes) && unicode.IsLetter(runes[i+1]):
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// abbreviations that a period does not terminate a sentence after.
+var abbreviations = map[string]bool{
+	"dr": true, "mr": true, "mrs": true, "ms": true, "prof": true,
+	"st": true, "jr": true, "sr": true, "vs": true, "etc": true,
+	"e.g": true, "i.e": true, "inc": true, "ltd": true, "co": true,
+	"approx": true, "dept": true, "apt": true, "no": true, "vol": true,
+}
+
+// SplitSentences splits raw review text into sentences. It terminates
+// on '.', '!' and '?' unless the period follows a known abbreviation,
+// a single capital letter (an initial), or sits between digits (a
+// decimal number). Newlines also terminate sentences, which matches
+// how review sites render paragraphs.
+func SplitSentences(s string) []string {
+	var out []string
+	runes := []rune(s)
+	start := 0
+	emit := func(end int) {
+		seg := strings.TrimSpace(string(runes[start:end]))
+		if seg != "" {
+			out = append(out, seg)
+		}
+		start = end
+	}
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		switch r {
+		case '\n':
+			emit(i + 1)
+		case '!', '?':
+			// Absorb runs like "!!" or "?!".
+			j := i
+			for j+1 < len(runes) && (runes[j+1] == '!' || runes[j+1] == '?') {
+				j++
+			}
+			emit(j + 1)
+			i = j
+		case '.':
+			// Decimal number: 3.5
+			if i > 0 && i+1 < len(runes) && unicode.IsDigit(runes[i-1]) && unicode.IsDigit(runes[i+1]) {
+				continue
+			}
+			// Ellipsis: treat "..." as one terminator.
+			j := i
+			for j+1 < len(runes) && runes[j+1] == '.' {
+				j++
+			}
+			word := trailingWord(runes[start:i])
+			if j == i && (abbreviations[strings.ToLower(word)] || isInitial(word)) {
+				continue
+			}
+			emit(j + 1)
+			i = j
+		}
+	}
+	emit(len(runes))
+	return out
+}
+
+// trailingWord returns the word immediately preceding the current
+// position (letters and internal periods, for "e.g").
+func trailingWord(runes []rune) string {
+	end := len(runes)
+	i := end
+	for i > 0 && (unicode.IsLetter(runes[i-1]) || runes[i-1] == '.') {
+		i--
+	}
+	return strings.TrimSuffix(string(runes[i:end]), ".")
+}
+
+func isInitial(word string) bool {
+	r := []rune(word)
+	return len(r) == 1 && unicode.IsUpper(r[0])
+}
+
+// stopwords is a compact English stopword list tuned for product and
+// provider reviews (pronouns, determiners, auxiliaries, common
+// prepositions). Sentiment-bearing words are intentionally absent.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "this": true, "that": true,
+	"these": true, "those": true, "i": true, "me": true, "my": true,
+	"mine": true, "we": true, "us": true, "our": true, "ours": true,
+	"you": true, "your": true, "yours": true, "he": true, "him": true,
+	"his": true, "she": true, "her": true, "hers": true, "it": true,
+	"its": true, "they": true, "them": true, "their": true,
+	"theirs": true, "what": true, "which": true, "who": true,
+	"whom": true, "whose": true, "am": true, "is": true, "are": true,
+	"was": true, "were": true, "be": true, "been": true, "being": true,
+	"have": true, "has": true, "had": true, "having": true, "do": true,
+	"does": true, "did": true, "doing": true, "will": true,
+	"would": true, "shall": true, "should": true, "can": true,
+	"could": true, "may": true, "might": true, "must": true, "of": true,
+	"at": true, "by": true, "for": true, "with": true, "about": true,
+	"against": true, "between": true, "into": true, "through": true,
+	"during": true, "before": true, "after": true, "above": true,
+	"below": true, "to": true, "from": true, "up": true, "down": true,
+	"in": true, "out": true, "on": true, "off": true, "over": true,
+	"under": true, "again": true, "further": true, "then": true,
+	"once": true, "here": true, "there": true, "when": true,
+	"where": true, "why": true, "how": true, "all": true, "any": true,
+	"both": true, "each": true, "few": true, "more": true, "most": true,
+	"other": true, "some": true, "such": true, "only": true,
+	"own": true, "same": true, "so": true, "than": true, "too": true,
+	"s": true, "t": true, "just": true, "don": true, "now": true,
+	"and": true, "but": true, "if": true, "or": true, "because": true,
+	"as": true, "until": true, "while": true, "also": true, "got": true,
+	"get": true, "go": true, "went": true, "one": true, "two": true,
+}
+
+// IsStopword reports whether the (lowercased) token is a stopword.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// RemoveStopwords filters a token slice in a new slice.
+func RemoveStopwords(tokens []string) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if !stopwords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

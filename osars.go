@@ -1,0 +1,234 @@
+// Package osars is an ontology- and sentiment-aware review
+// summarization library, a from-scratch Go reproduction of
+//
+//	Le, Hristidis, Young — "Ontology- and Sentiment-Aware Review
+//	Summarization", ICDE 2017 (full version: Le, Young, Hristidis,
+//	WISE 2019).
+//
+// Given an item's customer reviews, a domain concept hierarchy (DAG)
+// and a sentiment estimator, it selects the k most representative
+// concept-sentiment pairs, sentences or whole reviews by minimizing
+// the ontology-aware coverage cost of Definition 2, using the paper's
+// greedy, randomized-rounding or exact ILP algorithm.
+//
+// Quick start:
+//
+//	ont := dataset.CellPhoneOntology()           // or build your own
+//	s, _ := osars.New(osars.Config{Ontology: ont})
+//	item := s.AnnotateItem("phone-1", "Acme Phone", reviews)
+//	sum, _ := s.Summarize(item, 5, osars.Sentences, osars.MethodGreedy)
+//	for _, line := range sum.Sentences { fmt.Println(line) }
+package osars
+
+import (
+	"fmt"
+	"math/rand"
+
+	"osars/internal/coverage"
+	"osars/internal/extract"
+	"osars/internal/model"
+	"osars/internal/ontology"
+	"osars/internal/sentiment"
+	"osars/internal/summarize"
+)
+
+// Re-exported building blocks, so library users need only this
+// package plus internal/ontology for building hierarchies.
+type (
+	// Ontology is the rooted concept DAG (see internal/ontology for
+	// the Builder API).
+	Ontology = ontology.Ontology
+	// ConceptID identifies a concept within an Ontology.
+	ConceptID = ontology.ConceptID
+	// Pair is a concept-sentiment pair.
+	Pair = model.Pair
+	// Item is an annotated set of reviews ready for summarization.
+	Item = model.Item
+	// Review is one raw input review.
+	Review = extract.RawReview
+	// Estimator scores a tokenized sentence in [-1, +1].
+	Estimator = sentiment.Estimator
+	// Granularity selects what a summary is made of.
+	Granularity = model.Granularity
+)
+
+// Granularities of the two coverage problems (§2).
+const (
+	// Pairs selects k concept-sentiment pairs (k-Pairs Coverage).
+	Pairs = model.GranularityPairs
+	// Sentences selects k review sentences (k-Sentences Coverage).
+	Sentences = model.GranularitySentences
+	// Reviews selects k whole reviews (k-Reviews Coverage).
+	Reviews = model.GranularityReviews
+)
+
+// Method selects the summarization algorithm (§4).
+type Method int
+
+// The paper's three algorithms.
+const (
+	// MethodGreedy is Algorithm 2: fast, within a Wolsey-type factor
+	// of optimal (Theorem 4); the paper's recommended default.
+	MethodGreedy Method = iota
+	// MethodRR is Algorithm 1: LP relaxation + randomized rounding
+	// (Theorem 3 bound).
+	MethodRR
+	// MethodILP solves the k-medians integer program exactly.
+	MethodILP
+	// MethodLocalSearch is an extension beyond the paper: greedy
+	// followed by 1-swap local search (Arya et al. 2004) — never worse
+	// than greedy, usually closing most of its gap to optimal.
+	MethodLocalSearch
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodGreedy:
+		return "greedy"
+	case MethodRR:
+		return "randomized-rounding"
+	case MethodILP:
+		return "ilp"
+	case MethodLocalSearch:
+		return "local-search"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config configures a Summarizer.
+type Config struct {
+	// Ontology is the domain concept hierarchy. Required.
+	Ontology *Ontology
+	// Epsilon is the sentiment threshold ε of Definition 1
+	// (default 0.5, the elbow the paper selects in §5.3).
+	Epsilon float64
+	// Estimator scores sentence sentiment (default: the unsupervised
+	// lexicon scorer).
+	Estimator Estimator
+	// Seed drives randomized rounding (default 1).
+	Seed int64
+}
+
+// Summarizer is the top-level entry point. Safe for concurrent use.
+type Summarizer struct {
+	metric   model.Metric
+	pipeline *extract.Pipeline
+	seed     int64
+}
+
+// New validates the config and builds a Summarizer.
+func New(cfg Config) (*Summarizer, error) {
+	if cfg.Ontology == nil {
+		return nil, fmt.Errorf("osars: Config.Ontology is required")
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.5
+	}
+	if cfg.Epsilon < 0 {
+		return nil, fmt.Errorf("osars: Epsilon must be positive, got %v", cfg.Epsilon)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Summarizer{
+		metric:   model.Metric{Ont: cfg.Ontology, Epsilon: cfg.Epsilon},
+		pipeline: extract.NewPipeline(extract.NewMatcher(cfg.Ontology), cfg.Estimator),
+		seed:     cfg.Seed,
+	}, nil
+}
+
+// Metric exposes the configured Definition-1/2 metric (for custom
+// evaluation).
+func (s *Summarizer) Metric() model.Metric { return s.metric }
+
+// AnnotateItem runs the extraction pipeline (§5.1): sentence
+// splitting, ontology concept matching and sentence-level sentiment.
+func (s *Summarizer) AnnotateItem(id, name string, reviews []Review) *Item {
+	return s.pipeline.AnnotateItem(id, name, reviews)
+}
+
+// Summary is a computed review summary.
+type Summary struct {
+	// Granularity the summary was built at.
+	Granularity Granularity
+	// Method that produced it.
+	Method Method
+	// Cost is the Definition-2 coverage cost of the selection.
+	Cost float64
+	// Indices are the selected candidate indices: pair indices into
+	// Item.Pairs() for Pairs, flattened sentence indices for
+	// Sentences, review indices for Reviews.
+	Indices []int
+	// Pairs is the selected pairs (Pairs granularity only).
+	Pairs []Pair
+	// Sentences is the selected sentence texts (Sentences granularity
+	// only), in selection order.
+	Sentences []string
+	// ReviewIDs is the selected review IDs (Reviews granularity only).
+	ReviewIDs []string
+}
+
+// Summarize selects the k most representative units of the item at
+// the given granularity. k is clamped to the number of available
+// candidates.
+func (s *Summarizer) Summarize(item *Item, k int, g Granularity, m Method) (*Summary, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("osars: k must be nonnegative, got %d", k)
+	}
+	graph := coverage.Build(s.metric, item, g)
+	if k > graph.NumCandidates {
+		k = graph.NumCandidates
+	}
+	var res *summarize.Result
+	var err error
+	switch m {
+	case MethodGreedy:
+		res = summarize.Greedy(graph, k)
+	case MethodRR:
+		res, err = summarize.RandomizedRounding(graph, k, rand.New(rand.NewSource(s.seed)), nil)
+	case MethodILP:
+		res, err = summarize.ILP(graph, k, nil)
+	case MethodLocalSearch:
+		res = summarize.LocalSearch(graph, k, nil)
+	default:
+		return nil, fmt.Errorf("osars: unknown method %v", m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Summary{Granularity: g, Method: m, Cost: res.Cost, Indices: res.Selected}
+	switch g {
+	case Pairs:
+		all := item.Pairs()
+		for _, idx := range res.Selected {
+			out.Pairs = append(out.Pairs, all[idx])
+		}
+	case Sentences:
+		texts := sentenceTexts(item)
+		for _, idx := range res.Selected {
+			out.Sentences = append(out.Sentences, texts[idx])
+		}
+	case Reviews:
+		for _, idx := range res.Selected {
+			out.ReviewIDs = append(out.ReviewIDs, item.Reviews[idx].ID)
+		}
+	}
+	return out, nil
+}
+
+// DescribePair renders a pair like "screen resolution = +0.75" using
+// the configured ontology.
+func (s *Summarizer) DescribePair(p Pair) string {
+	return fmt.Sprintf("%s = %+.2f", s.metric.Ont.Name(p.Concept), p.Sentiment)
+}
+
+func sentenceTexts(item *Item) []string {
+	var out []string
+	for ri := range item.Reviews {
+		for si := range item.Reviews[ri].Sentences {
+			out = append(out, item.Reviews[ri].Sentences[si].Text)
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package osars
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -25,6 +26,15 @@ type BatchResult struct {
 // 0 uses GOMAXPROCS. The Summarizer is safe to share across workers:
 // each request builds its own coverage graph.
 func (s *Summarizer) SummarizeBatch(reqs []BatchRequest, workers int) []BatchResult {
+	return s.SummarizeBatchCtx(context.Background(), reqs, workers)
+}
+
+// SummarizeBatchCtx is SummarizeBatch with cancellation. When ctx is
+// cancelled, in-flight summarizations run to completion (workers
+// drain), no new ones start, and every unprocessed slot carries
+// ctx.Err(). The result slice is always fully populated and aligned
+// with reqs.
+func (s *Summarizer) SummarizeBatchCtx(ctx context.Context, reqs []BatchRequest, workers int) []BatchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -42,13 +52,27 @@ func (s *Summarizer) SummarizeBatch(reqs []BatchRequest, workers int) []BatchRes
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				// A job may have been handed out just as the context
+				// fired; fail it fast rather than solving doomed work.
+				if err := ctx.Err(); err != nil {
+					results[i] = BatchResult{Err: err}
+					continue
+				}
 				sum, err := s.Summarize(reqs[i].Item, reqs[i].K, reqs[i].Granularity, reqs[i].Method)
 				results[i] = BatchResult{Summary: sum, Err: err}
 			}
 		}()
 	}
+dispatch:
 	for i := range reqs {
-		jobs <- i
+		select {
+		case <-ctx.Done():
+			for j := i; j < len(reqs); j++ {
+				results[j] = BatchResult{Err: ctx.Err()}
+			}
+			break dispatch
+		case jobs <- i:
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -1,8 +1,11 @@
 package osars
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestSummarizeBatchMatchesSequential(t *testing.T) {
@@ -51,6 +54,68 @@ func TestSummarizeBatchPropagatesErrors(t *testing.T) {
 	}
 	if results[1].Err == nil || results[2].Err == nil {
 		t.Fatal("invalid requests did not error")
+	}
+}
+
+// TestSummarizeBatchCtxPreCancelled: with an already-cancelled
+// context, no work runs and every slot carries ctx.Err().
+func TestSummarizeBatchCtxPreCancelled(t *testing.T) {
+	s := testSummarizer(t)
+	item := s.AnnotateItem("p", "Phone", testReviews())
+	reqs := make([]BatchRequest, 8)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Item: item, K: 2, Granularity: Sentences, Method: MethodGreedy}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := s.SummarizeBatchCtx(ctx, reqs, 3)
+	if len(results) != len(reqs) {
+		t.Fatalf("results = %d, want %d", len(results), len(reqs))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) || r.Summary != nil {
+			t.Fatalf("slot %d = %+v, want context.Canceled", i, r)
+		}
+	}
+}
+
+// TestSummarizeBatchCtxMidCancel cancels while the batch is running:
+// the pool must drain promptly, every slot must be populated, and each
+// result is exactly one of {summary, ctx error}.
+func TestSummarizeBatchCtxMidCancel(t *testing.T) {
+	s := testSummarizer(t)
+	// A corpus big enough that a single solve outlasts the deadline,
+	// so cancellation reliably lands mid-batch.
+	var big []Review
+	for i := 0; i < 100; i++ {
+		for _, r := range testReviews() {
+			r.ID = fmt.Sprintf("%s-%d", r.ID, i)
+			big = append(big, r)
+		}
+	}
+	item := s.AnnotateItem("p", "Phone", big)
+	reqs := make([]BatchRequest, 64)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Item: item, K: 3, Granularity: Sentences, Method: MethodGreedy}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	results := s.SummarizeBatchCtx(ctx, reqs, 2)
+	if len(results) != len(reqs) {
+		t.Fatalf("results = %d, want %d", len(results), len(reqs))
+	}
+	cancelled := 0
+	for i, r := range results {
+		switch {
+		case r.Err == nil && r.Summary != nil: // completed before the deadline
+		case errors.Is(r.Err, context.DeadlineExceeded) && r.Summary == nil:
+			cancelled++
+		default:
+			t.Fatalf("slot %d = %+v: neither success nor ctx error", i, r)
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no slot was cancelled — deadline did not land mid-batch")
 	}
 }
 

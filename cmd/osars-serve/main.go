@@ -3,12 +3,25 @@
 //	osars-serve -addr :8080 -domain phone
 //	osars-serve -addr :8080 -ontology data/phone-ontology.json
 //
-// Then:
+// Stateless, one-shot (the request carries the reviews):
 //
 //	curl -s localhost:8080/v1/summarize -d '{
 //	  "item_id": "p1", "k": 3,
 //	  "reviews": [{"id":"r1","text":"The screen is excellent. The battery is awful."}]
 //	}'
+//
+// Stateful (the server accumulates the corpus; reads hit the
+// generation-aware summary cache):
+//
+//	curl -s -X PUT localhost:8080/v1/items/p1/reviews -d '{
+//	  "reviews": [{"id":"r1","text":"The screen is excellent. The battery is awful."}]
+//	}'
+//	curl -s 'localhost:8080/v1/items/p1/summary?k=3'
+//	curl -s localhost:8080/v1/items
+//	curl -s -X DELETE localhost:8080/v1/items/p1
+//
+// The store is tuned with -cache-entries / -cache-bytes and disabled
+// entirely with -stateless.
 package main
 
 import (
@@ -28,10 +41,13 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		domain  = flag.String("domain", "phone", "built-in ontology when -ontology is not given: phone|doctor")
-		ontPath = flag.String("ontology", "", "path to an ontology JSON file (overrides -domain)")
-		eps     = flag.Float64("eps", 0.5, "sentiment threshold ε")
+		addr         = flag.String("addr", ":8080", "listen address")
+		domain       = flag.String("domain", "phone", "built-in ontology when -ontology is not given: phone|doctor")
+		ontPath      = flag.String("ontology", "", "path to an ontology JSON file (overrides -domain)")
+		eps          = flag.Float64("eps", 0.5, "sentiment threshold ε")
+		stateless    = flag.Bool("stateless", false, "disable the stateful /v1/items API")
+		cacheEntries = flag.Int("cache-entries", 1024, "summary cache entry budget (negative disables caching)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "summary cache byte budget (negative: entry-count only)")
 	)
 	flag.Parse()
 
@@ -58,13 +74,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("osars-serve: %v", err)
 	}
-	h := server.New(sum)
+	var st *osars.Store
+	if !*stateless {
+		st = sum.NewStore(osars.StoreOptions{
+			MaxCacheEntries: *cacheEntries,
+			MaxCacheBytes:   *cacheBytes,
+		})
+	}
+	h := server.NewWithStore(sum, st)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("osars-serve: listening on %s with %v (ε=%.2f)\n", *addr, ont, *eps)
+	mode := fmt.Sprintf("stateful, cache %d entries / %d MiB", *cacheEntries, *cacheBytes>>20)
+	if *stateless {
+		mode = "stateless"
+	}
+	fmt.Printf("osars-serve: listening on %s with %v (ε=%.2f, %s)\n", *addr, ont, *eps, mode)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("osars-serve: %v", err)
 	}

@@ -1,20 +1,32 @@
 // Package server exposes the summarizer as a small JSON-over-HTTP
 // service, the deployment shape a review site would embed the library
-// in. It is stdlib-only (net/http) and stateless: every request
-// carries the item's raw reviews; annotation and selection run per
-// request against the server's configured ontology.
+// in. It is stdlib-only (net/http) and offers two modes side by side:
+//
+//   - a stateless endpoint, where every request carries the item's raw
+//     reviews and annotation + selection run per request; and
+//   - a stateful item API backed by osars.Store, where reviews are
+//     ingested incrementally (only new reviews are annotated) and
+//     summary reads are answered from a generation-aware LRU cache,
+//     deduplicating concurrent identical solves via singleflight.
 //
 // Endpoints:
 //
-//	GET  /healthz        → 200 "ok"
-//	GET  /v1/ontology    → the configured ontology as JSON
-//	POST /v1/summarize   → SummarizeRequest → SummarizeResponse
+//	GET    /healthz                  → 200 "ok"
+//	GET    /v1/ontology              → the configured ontology as JSON
+//	POST   /v1/summarize             → SummarizeRequest → SummarizeResponse (stateless)
+//	PUT    /v1/items/{id}/reviews    → AppendReviewsRequest → item stats (append-only ingest)
+//	GET    /v1/items/{id}            → item stats
+//	GET    /v1/items/{id}/summary    → ?k=&granularity=&method= → ItemSummaryResponse
+//	GET    /v1/items                 → ListItemsResponse (all items + store counters)
+//	DELETE /v1/items/{id}            → {"deleted": true}
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"osars"
@@ -59,28 +71,75 @@ type PairJSON struct {
 	Sentiment float64 `json:"sentiment"`
 }
 
+// AppendReviewsRequest is the PUT /v1/items/{id}/reviews body.
+// Appending zero reviews creates (or renames) the item.
+type AppendReviewsRequest struct {
+	ItemName string      `json:"item_name"`
+	Reviews  []RawReview `json:"reviews"`
+}
+
+// ItemSummaryResponse is the GET /v1/items/{id}/summary reply: the
+// stateless response shape plus the corpus generation the summary was
+// solved at and whether it was served without a new solve.
+type ItemSummaryResponse struct {
+	SummarizeResponse
+	Generation uint64 `json:"generation"`
+	Cached     bool   `json:"cached"`
+}
+
+// ListItemsResponse is the GET /v1/items reply.
+type ListItemsResponse struct {
+	Items []osars.ItemStats `json:"items"`
+	Stats osars.StoreStats  `json:"stats"`
+}
+
 // errorResponse is every non-2xx body.
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Server handles the HTTP API around one Summarizer. Create with New;
-// it implements http.Handler.
+// Server handles the HTTP API around one Summarizer and (optionally)
+// one Store. Create with New or NewWithStore; it implements
+// http.Handler.
 type Server struct {
-	sum *osars.Summarizer
-	mux *http.ServeMux
+	sum   *osars.Summarizer
+	store *osars.Store
+	mux   *http.ServeMux
 	// MaxReviews rejects oversized requests (default 10000).
 	MaxReviews int
+	// MaxBodyBytes bounds request bodies (default 64 MiB). Larger
+	// bodies get 413.
+	MaxBodyBytes int64
 }
 
-// New builds the handler.
+// New builds the handler with a default Store (default cache budgets).
 func New(s *osars.Summarizer) *Server {
-	srv := &Server{sum: s, mux: http.NewServeMux(), MaxReviews: 10000}
+	return NewWithStore(s, s.NewStore(osars.StoreOptions{}))
+}
+
+// NewWithStore builds the handler around an explicit Store. A nil
+// store disables the stateful /v1/items endpoints (they answer 404).
+func NewWithStore(s *osars.Summarizer, st *osars.Store) *Server {
+	srv := &Server{
+		sum:          s,
+		store:        st,
+		mux:          http.NewServeMux(),
+		MaxReviews:   10000,
+		MaxBodyBytes: 64 << 20,
+	}
 	srv.mux.HandleFunc("/healthz", srv.handleHealth)
 	srv.mux.HandleFunc("/v1/ontology", srv.handleOntology)
 	srv.mux.HandleFunc("/v1/summarize", srv.handleSummarize)
+	srv.mux.HandleFunc("PUT /v1/items/{id}/reviews", srv.handleAppendReviews)
+	srv.mux.HandleFunc("GET /v1/items/{id}/summary", srv.handleItemSummary)
+	srv.mux.HandleFunc("GET /v1/items/{id}", srv.handleItemStats)
+	srv.mux.HandleFunc("GET /v1/items", srv.handleListItems)
+	srv.mux.HandleFunc("DELETE /v1/items/{id}", srv.handleDeleteItem)
 	return srv
 }
+
+// Store returns the backing store (nil in stateless-only mode).
+func (s *Server) Store() *osars.Store { return s.store }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -88,6 +147,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
@@ -100,15 +163,36 @@ func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sum.Metric().Ont)
 }
 
+// decodeBody decodes a JSON request body under the byte budget,
+// writing the error response itself (413 for an over-limit body — the
+// http.MaxBytesError used to be swallowed into a generic 400 — and 400
+// for malformed JSON). Reports whether decoding succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	limit := s.MaxBodyBytes
+	if limit <= 0 {
+		limit = 64 << 20
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	var req SummarizeRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.K < 1 {
@@ -135,12 +219,8 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	reviews := make([]osars.Review, len(req.Reviews))
-	for i, rr := range req.Reviews {
-		reviews[i] = osars.Review{ID: rr.ID, Text: rr.Text, Rating: rr.Rating}
-	}
 	start := time.Now()
-	item := s.sum.AnnotateItem(req.ItemID, req.ItemName, reviews)
+	item := s.sum.AnnotateItem(req.ItemID, req.ItemName, toReviews(req.Reviews))
 	summary, err := s.sum.Summarize(item, req.K, gran, method)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -157,12 +237,140 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
 	}
 	for _, p := range summary.Pairs {
-		resp.Pairs = append(resp.Pairs, PairJSON{
-			Concept:   s.sum.Metric().Ont.Name(p.Concept),
-			Sentiment: p.Sentiment,
-		})
+		resp.Pairs = append(resp.Pairs, s.pairJSON(p))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// requireStore answers 404 on the stateful endpoints when the server
+// was built without a store.
+func (s *Server) requireStore(w http.ResponseWriter) bool {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "stateful item API disabled (server runs stateless)")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleAppendReviews(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	var req AppendReviewsRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Reviews) > s.MaxReviews {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("too many reviews (%d > %d)", len(req.Reviews), s.MaxReviews))
+		return
+	}
+	stats, err := s.store.AppendReviews(r.PathValue("id"), req.ItemName, toReviews(req.Reviews))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleItemSummary(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	q := r.URL.Query()
+	k, err := strconv.Atoi(q.Get("k"))
+	if err != nil || k < 1 {
+		writeError(w, http.StatusBadRequest, "query parameter k must be an integer ≥ 1")
+		return
+	}
+	gran, err := osars.ParseGranularity(q.Get("granularity"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	method, err := osars.ParseMethod(q.Get("method"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	start := time.Now()
+	sum, cached, err := osars.SummarizeStored(s.store, r.PathValue("id"), k, gran, method)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, osars.ErrItemNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	resp := ItemSummaryResponse{
+		SummarizeResponse: SummarizeResponse{
+			ItemID:      sum.ItemID,
+			Granularity: gran.String(),
+			Method:      method.String(),
+			Cost:        sum.Cost,
+			NumPairs:    sum.NumPairs,
+			Sentences:   sum.Sentences,
+			ReviewIDs:   sum.ReviewIDs,
+			ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		},
+		Generation: sum.Generation,
+		Cached:     cached,
+	}
+	for _, p := range sum.Pairs {
+		resp.Pairs = append(resp.Pairs, s.pairJSON(p))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleItemStats(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	stats, ok := s.store.ItemStats(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, osars.ErrItemNotFound.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleListItems(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, ListItemsResponse{
+		Items: s.store.List(),
+		Stats: s.store.Stats(),
+	})
+}
+
+func (s *Server) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	id := r.PathValue("id")
+	if !s.store.Delete(id) {
+		writeError(w, http.StatusNotFound, osars.ErrItemNotFound.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+func (s *Server) pairJSON(p osars.Pair) PairJSON {
+	return PairJSON{
+		Concept:   s.sum.Metric().Ont.Name(p.Concept),
+		Sentiment: p.Sentiment,
+	}
+}
+
+func toReviews(in []RawReview) []osars.Review {
+	out := make([]osars.Review, len(in))
+	for i, rr := range in {
+		out[i] = osars.Review{ID: rr.ID, Text: rr.Text, Rating: rr.Rating}
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -1,0 +1,148 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is the generation-aware summary cache: a plain LRU over
+// cacheKey → *Summary with both an entry-count and an approximate
+// byte budget. Generations make invalidation implicit — appending
+// reviews to an item bumps its generation, so all cache keys minted
+// for the old corpus simply stop being requested and age out of the
+// LRU; nothing is ever served stale.
+type lruCache struct {
+	mu         sync.Mutex
+	maxEntries int   // ≤ 0 disables the cache entirely
+	maxBytes   int64 // ≤ 0 means no byte budget
+	ll         *list.List // front = most recently used
+	m          map[cacheKey]*list.Element
+	bytes      int64
+	evictions  uint64
+}
+
+type lruEntry struct {
+	key  cacheKey
+	sum  *Summary
+	size int64
+}
+
+func newLRU(maxEntries int, maxBytes int64) *lruCache {
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		m:          make(map[cacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached summary for key, marking it most recently
+// used.
+func (c *lruCache) Get(key cacheKey) (*Summary, bool) {
+	if c.maxEntries <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).sum, true
+}
+
+// Add inserts sum under key and evicts from the cold end until both
+// budgets hold. A summary alone larger than the byte budget is not
+// cached at all (it would immediately evict everything else for a
+// single-use entry).
+func (c *lruCache) Add(key cacheKey, sum *Summary) {
+	if c.maxEntries <= 0 {
+		return
+	}
+	size := summarySize(key, sum)
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok { // racing solver already cached it
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, sum: sum, size: size})
+	c.bytes += size
+	for (c.ll.Len() > c.maxEntries) || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
+		c.removeElement(c.ll.Back())
+		c.evictions++
+	}
+}
+
+// PurgeItem drops every cached summary of one item (used by Delete so
+// a deleted corpus releases its memory immediately instead of aging
+// out).
+func (c *lruCache) PurgeItem(id string) {
+	if c.maxEntries <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.m {
+		if key.id == id {
+			c.removeElement(el)
+		}
+	}
+}
+
+func (c *lruCache) removeElement(el *list.Element) {
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.m, e.key)
+	c.bytes -= e.size
+}
+
+func (c *lruCache) Len() int {
+	if c.maxEntries <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *lruCache) Bytes() int64 {
+	if c.maxEntries <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+func (c *lruCache) Evictions() uint64 {
+	if c.maxEntries <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// summarySize approximates the resident size of one cache entry:
+// struct headers plus the backing arrays of the selection slices and
+// the bytes of every retained string.
+func summarySize(key cacheKey, sum *Summary) int64 {
+	const structOverhead = 192 // Summary + lruEntry + list.Element + map slot
+	n := int64(structOverhead)
+	n += int64(len(key.id)) + int64(len(sum.ItemID))
+	n += int64(8 * len(sum.Indices))
+	n += int64(16 * len(sum.Pairs))
+	n += int64(16 * (len(sum.Sentences) + len(sum.ReviewIDs))) // string headers
+	for _, s := range sum.Sentences {
+		n += int64(len(s))
+	}
+	for _, id := range sum.ReviewIDs {
+		n += int64(len(id))
+	}
+	return n
+}

@@ -1,0 +1,158 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"osars/internal/extract"
+	"osars/internal/model"
+)
+
+// TestConcurrentStress hammers one store with mixed AppendReviews /
+// Summary / Delete / List traffic on overlapping items. It is designed
+// to run under -race (the CI runs this package with the detector on)
+// and it asserts the store's freshness contract: a single-writer item
+// never observes a summary for a generation other than the one its
+// last append produced — i.e. cache generations never serve stale
+// summaries.
+func TestConcurrentStress(t *testing.T) {
+	s := testStore(t)
+	shared := []string{"itemA", "itemB", "itemC"}
+	texts := []string{
+		"The screen is excellent and the resolution is amazing.",
+		"The battery is awful. The battery life is terrible.",
+		"Great camera and a decent price.",
+		"The speaker is too quiet but the design is gorgeous.",
+	}
+	grans := []model.Granularity{
+		model.GranularityPairs, model.GranularitySentences, model.GranularityReviews,
+	}
+
+	const (
+		appenders = 4
+		readers   = 6
+		deleters  = 2
+		iters     = 25
+	)
+	var wg sync.WaitGroup
+
+	// Writers: append 1-2 reviews to a random shared item per
+	// iteration.
+	for w := 0; w < appenders; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				id := shared[rng.Intn(len(shared))]
+				n := 1 + rng.Intn(2)
+				revs := make([]extract.RawReview, n)
+				for j := range revs {
+					revs[j] = extract.RawReview{
+						ID:     fmt.Sprintf("w%d-i%d-%d", seed, i, j),
+						Text:   texts[rng.Intn(len(texts))],
+						Rating: rng.Float64()*2 - 1,
+					}
+				}
+				if _, err := s.AppendReviews(id, "", revs); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	// Readers: random summaries over the shared items; ErrNotFound is
+	// expected while deleters are active.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < iters; i++ {
+				id := shared[rng.Intn(len(shared))]
+				sum, _, err := s.Summary(id, 1+rng.Intn(3), grans[rng.Intn(len(grans))], MethodGreedy)
+				if err != nil {
+					if !errors.Is(err, ErrNotFound) {
+						t.Errorf("summary: %v", err)
+						return
+					}
+					continue
+				}
+				if sum.ItemID != id || sum.Cost < 0 {
+					t.Errorf("implausible summary %+v", sum)
+					return
+				}
+				s.List()
+				s.Stats()
+			}
+		}(int64(r + 1))
+	}
+
+	// Deleters: occasionally drop a shared item (never the solo item
+	// below — it must stay single-writer).
+	for d := 0; d < deleters; d++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(200 + seed))
+			for i := 0; i < iters; i++ {
+				s.Delete(shared[rng.Intn(len(shared))])
+			}
+		}(int64(d + 1))
+	}
+
+	// Freshness witness: ONE writer owns item "solo" (readers above
+	// never touch it, deleters never delete it). After every append the
+	// observed summary generation must equal the append's generation
+	// and must cover exactly the reviews appended so far — a stale
+	// cache entry would fail both.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			st, err := s.AppendReviews("solo", "", []extract.RawReview{{
+				ID:   fmt.Sprintf("solo-%d", i),
+				Text: texts[i%len(texts)],
+			}})
+			if err != nil {
+				t.Errorf("solo append: %v", err)
+				return
+			}
+			sum, _, err := s.Summary("solo", 1000, model.GranularityReviews, MethodGreedy)
+			if err != nil {
+				t.Errorf("solo summary: %v", err)
+				return
+			}
+			if sum.Generation != st.Generation {
+				t.Errorf("stale summary: generation %d, appended generation %d",
+					sum.Generation, st.Generation)
+				return
+			}
+			if len(sum.ReviewIDs) != i+1 {
+				t.Errorf("stale summary: %d reviews covered, %d appended",
+					len(sum.ReviewIDs), i+1)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Post-conditions: the solo item holds every appended review, and
+	// the counters are coherent.
+	item, _, ok := s.Item("solo")
+	if !ok || len(item.Reviews) != iters {
+		t.Fatalf("solo item = %v (ok=%v)", item, ok)
+	}
+	st := s.Stats()
+	if st.Appends == 0 || st.Solves == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CacheMisses < st.Solves {
+		t.Fatalf("more solves than misses: %+v", st)
+	}
+}

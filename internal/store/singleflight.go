@@ -1,0 +1,48 @@
+package store
+
+import "sync"
+
+// flightGroup deduplicates concurrent identical summary computations:
+// N goroutines asking for the same (item, generation, k, granularity,
+// method) trigger exactly one coverage solve; the other N-1 block and
+// share the leader's result. This is the classic singleflight pattern
+// (golang.org/x/sync/singleflight), hand-rolled on cacheKey so the
+// repository stays dependency-free.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[cacheKey]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val *Summary
+	err error
+}
+
+// Do runs fn under key, ensuring only one execution is in flight for
+// the key at a time. shared reports whether the caller received
+// another goroutine's result instead of running fn itself.
+func (g *flightGroup) Do(key cacheKey, fn func() (*Summary, error)) (val *Summary, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[cacheKey]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}

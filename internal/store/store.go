@@ -1,0 +1,449 @@
+// Package store is the stateful corpus layer of the service: an
+// in-memory, concurrency-safe collection of annotated items with
+// incremental review ingestion, a generation-aware LRU summary cache
+// and singleflight deduplication of concurrent identical solves.
+//
+// The stateless API re-annotates and re-solves every request from
+// scratch; real review platforms accumulate reviews incrementally and
+// answer many summary reads per write. The store serves that workload:
+//
+//   - AppendReviews runs the extraction pipeline over ONLY the new
+//     reviews and merges them into the cached annotated item
+//     (copy-on-write, so concurrent readers keep a consistent
+//     snapshot), bumping the item's generation counter.
+//   - Summary answers from an LRU cache keyed by (item, generation,
+//     k, granularity, method); a warm read skips both annotation and
+//     the coverage solve. Generations are minted from a store-global
+//     counter, so even a deleted-then-recreated item can never collide
+//     with a stale cache entry.
+//   - Concurrent identical misses collapse into one coverage solve via
+//     singleflight.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"osars/internal/coverage"
+	"osars/internal/extract"
+	"osars/internal/model"
+	"osars/internal/summarize"
+)
+
+// Method selects the summarization algorithm. The values and names
+// mirror the root package's Method (greedy, rr, ilp, local-search).
+type Method int
+
+// The supported algorithms.
+const (
+	MethodGreedy Method = iota
+	MethodRR
+	MethodILP
+	MethodLocalSearch
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodGreedy:
+		return "greedy"
+	case MethodRR:
+		return "randomized-rounding"
+	case MethodILP:
+		return "ilp"
+	case MethodLocalSearch:
+		return "local-search"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ErrNotFound is returned when an item ID is not in the store.
+var ErrNotFound = errors.New("store: item not found")
+
+// Default cache budgets.
+const (
+	DefaultMaxCacheEntries = 1024
+	DefaultMaxCacheBytes   = 64 << 20 // 64 MiB
+)
+
+// Config configures a Store.
+type Config struct {
+	// Metric is the Definition-1/2 metric (required: Metric.Ont != nil).
+	Metric model.Metric
+	// Pipeline annotates incoming reviews (required).
+	Pipeline *extract.Pipeline
+	// Seed drives randomized rounding (default 1).
+	Seed int64
+	// MaxCacheEntries bounds the summary cache entry count
+	// (default DefaultMaxCacheEntries; negative disables caching).
+	MaxCacheEntries int
+	// MaxCacheBytes bounds the cache's approximate resident bytes
+	// (default DefaultMaxCacheBytes; negative means entries-only).
+	MaxCacheBytes int64
+}
+
+// Store is the in-memory corpus. All methods are safe for concurrent
+// use.
+type Store struct {
+	metric   model.Metric
+	pipeline *extract.Pipeline
+	seed     int64
+
+	mu      sync.RWMutex
+	items   map[string]*entry
+	nextGen uint64 // store-global so generations are never reused across delete/recreate
+
+	cache *lruCache
+	group flightGroup
+
+	appends atomic.Uint64
+	solves  atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// entry is one item's state. The *model.Item is treated as immutable:
+// AppendReviews publishes a fresh Item value (copy-on-write), so a
+// summary solve working off an old snapshot never races an append.
+type entry struct {
+	item         *model.Item
+	gen          uint64
+	numSentences int
+	numPairs     int
+	createdAt    time.Time
+	updatedAt    time.Time
+}
+
+// New validates the config and builds an empty Store.
+func New(cfg Config) (*Store, error) {
+	if cfg.Metric.Ont == nil {
+		return nil, errors.New("store: Config.Metric.Ont is required")
+	}
+	if cfg.Pipeline == nil {
+		return nil, errors.New("store: Config.Pipeline is required")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxCacheEntries == 0 {
+		cfg.MaxCacheEntries = DefaultMaxCacheEntries
+	}
+	if cfg.MaxCacheBytes == 0 {
+		cfg.MaxCacheBytes = DefaultMaxCacheBytes
+	}
+	return &Store{
+		metric:   cfg.Metric,
+		pipeline: cfg.Pipeline,
+		seed:     cfg.Seed,
+		items:    make(map[string]*entry),
+		cache:    newLRU(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
+	}, nil
+}
+
+// ItemStats is the externally visible state of one item.
+type ItemStats struct {
+	ID           string    `json:"id"`
+	Name         string    `json:"name,omitempty"`
+	Generation   uint64    `json:"generation"`
+	NumReviews   int       `json:"num_reviews"`
+	NumSentences int       `json:"num_sentences"`
+	NumPairs     int       `json:"num_pairs"`
+	CreatedAt    time.Time `json:"created_at"`
+	UpdatedAt    time.Time `json:"updated_at"`
+}
+
+func (e *entry) stats() ItemStats {
+	return ItemStats{
+		ID:           e.item.ID,
+		Name:         e.item.Name,
+		Generation:   e.gen,
+		NumReviews:   len(e.item.Reviews),
+		NumSentences: e.numSentences,
+		NumPairs:     e.numPairs,
+		CreatedAt:    e.createdAt,
+		UpdatedAt:    e.updatedAt,
+	}
+}
+
+// AppendReviews ingests new reviews for the item, creating it if
+// needed. Only the new reviews run through the extraction pipeline —
+// previously ingested reviews keep their cached annotations. The
+// item's generation is bumped, implicitly invalidating all cached
+// summaries of the old corpus. A non-empty name (re)names the item.
+// Appending zero reviews to an existing item is a no-op on the
+// generation unless it renames the item.
+func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (ItemStats, error) {
+	if id == "" {
+		return ItemStats{}, errors.New("store: item id must be non-empty")
+	}
+	// The expensive part — tokenization, concept matching, sentiment —
+	// runs outside any lock and touches only the new reviews.
+	annotated := make([]model.Review, len(reviews))
+	newSentences, newPairs := 0, 0
+	for i, rr := range reviews {
+		annotated[i] = s.pipeline.AnnotateReview(rr.ID, rr.Text, rr.Rating)
+		newSentences += len(annotated[i].Sentences)
+		for si := range annotated[i].Sentences {
+			newPairs += len(annotated[i].Sentences[si].Pairs)
+		}
+	}
+
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, existed := s.items[id]
+	if !existed {
+		s.nextGen++
+		e = &entry{
+			item:      &model.Item{ID: id, Name: name},
+			gen:       s.nextGen,
+			createdAt: now,
+			updatedAt: now,
+		}
+		s.items[id] = e
+	}
+	renamed := name != "" && name != e.item.Name
+	if existed && len(annotated) == 0 && !renamed {
+		return e.stats(), nil
+	}
+	if existed || len(annotated) > 0 {
+		old := e.item
+		ni := &model.Item{ID: id, Name: old.Name}
+		if renamed {
+			ni.Name = name
+		}
+		ni.Reviews = make([]model.Review, 0, len(old.Reviews)+len(annotated))
+		ni.Reviews = append(append(ni.Reviews, old.Reviews...), annotated...)
+		if existed {
+			s.nextGen++
+			e.gen = s.nextGen
+		}
+		e.item = ni
+		e.numSentences += newSentences
+		e.numPairs += newPairs
+		e.updatedAt = now
+	}
+	s.appends.Add(1)
+	return e.stats(), nil
+}
+
+// Item returns the current annotated snapshot and generation of an
+// item. The returned Item is shared and must be treated as read-only.
+func (s *Store) Item(id string) (*model.Item, uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.items[id]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.item, e.gen, true
+}
+
+// ItemStats returns the stats of one item.
+func (s *Store) ItemStats(id string) (ItemStats, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.items[id]
+	if !ok {
+		return ItemStats{}, false
+	}
+	return e.stats(), true
+}
+
+// List returns the stats of every item, sorted by ID.
+func (s *Store) List() []ItemStats {
+	s.mu.RLock()
+	out := make([]ItemStats, 0, len(s.items))
+	for _, e := range s.items {
+		out = append(out, e.stats())
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of items.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+// Delete removes an item and purges its cached summaries, reporting
+// whether it existed. A later re-creation under the same ID gets a
+// fresh generation, so stale cache entries can never resurface.
+func (s *Store) Delete(id string) bool {
+	s.mu.Lock()
+	_, ok := s.items[id]
+	delete(s.items, id)
+	s.mu.Unlock()
+	if ok {
+		s.cache.PurgeItem(id)
+	}
+	return ok
+}
+
+// cacheKey identifies one solved summary: the item at an exact corpus
+// generation under exact solver parameters.
+type cacheKey struct {
+	id  string
+	gen uint64
+	k   int
+	g   model.Granularity
+	m   Method
+}
+
+// Summary is a computed (and possibly cached) review summary.
+type Summary struct {
+	ItemID      string            `json:"item_id"`
+	Generation  uint64            `json:"generation"`
+	K           int               `json:"k"` // effective k after clamping
+	Granularity model.Granularity `json:"granularity"`
+	Method      Method            `json:"method"`
+	Cost        float64           `json:"cost"`
+	NumPairs    int               `json:"num_pairs"`
+	Indices     []int             `json:"indices,omitempty"`
+	Pairs       []model.Pair      `json:"pairs,omitempty"`
+	Sentences   []string          `json:"sentences,omitempty"`
+	ReviewIDs   []string          `json:"review_ids,omitempty"`
+}
+
+// Summary returns the k-unit summary of the item's current corpus.
+// cached reports whether the call was answered without running a new
+// coverage solve (LRU hit, or a concurrent identical solve was joined
+// via singleflight). The returned Summary is shared with the cache and
+// must be treated as read-only.
+func (s *Store) Summary(id string, k int, g model.Granularity, m Method) (sum *Summary, cached bool, err error) {
+	if k < 0 {
+		return nil, false, fmt.Errorf("store: k must be nonnegative, got %d", k)
+	}
+	switch g {
+	case model.GranularityPairs, model.GranularitySentences, model.GranularityReviews:
+	default:
+		return nil, false, fmt.Errorf("store: unknown granularity %v", g)
+	}
+	switch m {
+	case MethodGreedy, MethodRR, MethodILP, MethodLocalSearch:
+	default:
+		return nil, false, fmt.Errorf("store: unknown method %v", m)
+	}
+
+	s.mu.RLock()
+	e, ok := s.items[id]
+	var item *model.Item
+	var gen uint64
+	if ok {
+		item, gen = e.item, e.gen
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false, ErrNotFound
+	}
+
+	key := cacheKey{id: id, gen: gen, k: k, g: g, m: m}
+	if sum, ok := s.cache.Get(key); ok {
+		s.hits.Add(1)
+		return sum, true, nil
+	}
+	s.misses.Add(1)
+	return s.group.Do(key, func() (*Summary, error) {
+		// Double-check: a flight that completed between our cache miss
+		// and joining the group may have populated the cache already.
+		if sum, ok := s.cache.Get(key); ok {
+			return sum, nil
+		}
+		sum, err := s.solve(item, gen, k, g, m)
+		if err == nil {
+			s.cache.Add(key, sum)
+		}
+		return sum, err
+	})
+}
+
+// solve runs the coverage solve on an immutable item snapshot.
+func (s *Store) solve(item *model.Item, gen uint64, k int, g model.Granularity, m Method) (*Summary, error) {
+	s.solves.Add(1)
+	graph := coverage.Build(s.metric, item, g)
+	if k > graph.NumCandidates {
+		k = graph.NumCandidates
+	}
+	var res *summarize.Result
+	var err error
+	switch m {
+	case MethodGreedy:
+		res = summarize.Greedy(graph, k)
+	case MethodRR:
+		res, err = summarize.RandomizedRounding(graph, k, rand.New(rand.NewSource(s.seed)), nil)
+	case MethodILP:
+		res, err = summarize.ILP(graph, k, nil)
+	case MethodLocalSearch:
+		res = summarize.LocalSearch(graph, k, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{
+		ItemID:      item.ID,
+		Generation:  gen,
+		K:           k,
+		Granularity: g,
+		Method:      m,
+		Cost:        res.Cost,
+		NumPairs:    len(graph.Pairs),
+		Indices:     res.Selected,
+	}
+	switch g {
+	case model.GranularityPairs:
+		all := item.Pairs()
+		for _, idx := range res.Selected {
+			sum.Pairs = append(sum.Pairs, all[idx])
+		}
+	case model.GranularitySentences:
+		texts := make([]string, 0, item.NumSentences())
+		for ri := range item.Reviews {
+			for si := range item.Reviews[ri].Sentences {
+				texts = append(texts, item.Reviews[ri].Sentences[si].Text)
+			}
+		}
+		for _, idx := range res.Selected {
+			sum.Sentences = append(sum.Sentences, texts[idx])
+		}
+	case model.GranularityReviews:
+		for _, idx := range res.Selected {
+			sum.ReviewIDs = append(sum.ReviewIDs, item.Reviews[idx].ID)
+		}
+	}
+	return sum, nil
+}
+
+// Stats is a point-in-time snapshot of store-level counters.
+type Stats struct {
+	Items          int    `json:"items"`
+	Appends        uint64 `json:"appends"`
+	Solves         uint64 `json:"solves"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEntries   int    `json:"cache_entries"`
+	CacheBytes     int64  `json:"cache_bytes"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+}
+
+// Stats returns the current counters. Because the counters are
+// independent atomics, the snapshot is approximate under concurrency.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Items:          s.Len(),
+		Appends:        s.appends.Load(),
+		Solves:         s.solves.Load(),
+		CacheHits:      s.hits.Load(),
+		CacheMisses:    s.misses.Load(),
+		CacheEntries:   s.cache.Len(),
+		CacheBytes:     s.cache.Bytes(),
+		CacheEvictions: s.cache.Evictions(),
+	}
+}

@@ -1,0 +1,90 @@
+package osars
+
+import (
+	"fmt"
+
+	"osars/internal/store"
+)
+
+// Stateful corpus API: a Store accumulates an item's reviews
+// incrementally (only new reviews are annotated), caches solved
+// summaries per corpus generation with LRU eviction, and collapses
+// concurrent identical reads into one coverage solve. It is the
+// library-level counterpart of the server's stateful
+// /v1/items endpoints.
+type (
+	// Store is the in-memory, concurrency-safe corpus of annotated
+	// items with a generation-aware summary cache. Create one with
+	// Summarizer.NewStore.
+	Store = store.Store
+	// StoredSummary is a summary computed by a Store; it additionally
+	// carries the item's corpus generation and the effective k.
+	StoredSummary = store.Summary
+	// ItemStats is the externally visible state of one stored item.
+	ItemStats = store.ItemStats
+	// StoreStats is a snapshot of store-level counters (cache hits,
+	// misses, solves, evictions, resident bytes).
+	StoreStats = store.Stats
+)
+
+// ErrItemNotFound is returned by Store reads for unknown item IDs.
+var ErrItemNotFound = store.ErrNotFound
+
+// StoreOptions tunes a Store's summary cache. The zero value uses the
+// defaults (store.DefaultMaxCacheEntries entries, 64 MiB).
+type StoreOptions struct {
+	// MaxCacheEntries bounds the number of cached summaries
+	// (default 1024; negative disables caching).
+	MaxCacheEntries int
+	// MaxCacheBytes bounds the cache's approximate resident size
+	// (default 64 MiB; negative means entry-count-only).
+	MaxCacheBytes int64
+}
+
+// NewStore builds an empty stateful corpus sharing this Summarizer's
+// ontology, metric, extraction pipeline and RNG seed.
+//
+// Store methods take the store's own Method type; convert from the
+// root Method with StoreMethod, or use the string names via
+// ParseMethod on the wire.
+func (s *Summarizer) NewStore(opts StoreOptions) *Store {
+	st, err := store.New(store.Config{
+		Metric:          s.metric,
+		Pipeline:        s.pipeline,
+		Seed:            s.seed,
+		MaxCacheEntries: opts.MaxCacheEntries,
+		MaxCacheBytes:   opts.MaxCacheBytes,
+	})
+	if err != nil {
+		// Unreachable: a Summarizer built by New always carries a
+		// non-nil ontology and pipeline.
+		panic(fmt.Sprintf("osars: NewStore: %v", err))
+	}
+	return st
+}
+
+// StoreMethod converts a root Method to the Store's method type.
+func StoreMethod(m Method) (store.Method, error) {
+	switch m {
+	case MethodGreedy:
+		return store.MethodGreedy, nil
+	case MethodRR:
+		return store.MethodRR, nil
+	case MethodILP:
+		return store.MethodILP, nil
+	case MethodLocalSearch:
+		return store.MethodLocalSearch, nil
+	default:
+		return 0, fmt.Errorf("osars: unknown method %v", m)
+	}
+}
+
+// SummarizeStored is a convenience wrapper: it summarizes a stored
+// item using the root package's Method type.
+func SummarizeStored(st *Store, id string, k int, g Granularity, m Method) (*StoredSummary, bool, error) {
+	sm, err := StoreMethod(m)
+	if err != nil {
+		return nil, false, err
+	}
+	return st.Summary(id, k, g, sm)
+}

@@ -1,0 +1,95 @@
+package osars
+
+import (
+	"errors"
+	"testing"
+
+	"osars/internal/dataset"
+)
+
+func storeFixture(t *testing.T) (*Summarizer, *Store) {
+	t.Helper()
+	s, err := New(Config{Ontology: dataset.CellPhoneOntology()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, s.NewStore(StoreOptions{})
+}
+
+var storeReviews = []Review{
+	{ID: "r1", Text: "The screen is excellent. The battery is awful."},
+	{ID: "r2", Text: "Amazing screen resolution! The battery life is terrible."},
+	{ID: "r3", Text: "Great camera and a decent price."},
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	_, st := storeFixture(t)
+	stats, err := st.AppendReviews("p1", "Acme Phone", storeReviews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NumReviews != 3 || stats.NumPairs == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	sum, cached, err := SummarizeStored(st, "p1", 2, Sentences, MethodGreedy)
+	if err != nil || cached {
+		t.Fatalf("first read: cached=%v err=%v", cached, err)
+	}
+	if len(sum.Sentences) != 2 || sum.Generation != stats.Generation {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if _, cached, _ = SummarizeStored(st, "p1", 2, Sentences, MethodGreedy); !cached {
+		t.Fatal("second read not cached")
+	}
+	if _, _, err := SummarizeStored(st, "zzz", 2, Sentences, MethodGreedy); !errors.Is(err, ErrItemNotFound) {
+		t.Fatalf("missing item err = %v", err)
+	}
+	if !st.Delete("p1") || st.Len() != 0 {
+		t.Fatalf("delete failed, len = %d", st.Len())
+	}
+}
+
+// TestStoreMatchesStateless pins the contract that a stored item's
+// summary is identical to the stateless path's over the same corpus:
+// incremental annotation must not change the result.
+func TestStoreMatchesStateless(t *testing.T) {
+	s, st := storeFixture(t)
+	// Ingest incrementally in two batches.
+	st.AppendReviews("p1", "Acme", storeReviews[:1])
+	st.AppendReviews("p1", "", storeReviews[1:])
+
+	item := s.AnnotateItem("p1", "Acme", storeReviews)
+	for _, g := range []Granularity{Pairs, Sentences, Reviews} {
+		for _, m := range []Method{MethodGreedy, MethodILP, MethodLocalSearch} {
+			want, err := s.Summarize(item, 2, g, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := SummarizeStored(st, "p1", 2, g, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cost != want.Cost {
+				t.Fatalf("%v/%v: stored cost %v != stateless cost %v", g, m, got.Cost, want.Cost)
+			}
+			if len(got.Indices) != len(want.Indices) {
+				t.Fatalf("%v/%v: stored %v != stateless %v", g, m, got.Indices, want.Indices)
+			}
+		}
+	}
+}
+
+func TestStoreMethodConversion(t *testing.T) {
+	for _, m := range []Method{MethodGreedy, MethodRR, MethodILP, MethodLocalSearch} {
+		sm, err := StoreMethod(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sm.String() != m.String() {
+			t.Fatalf("name drift: %v vs %v", sm, m)
+		}
+	}
+	if _, err := StoreMethod(Method(99)); err == nil {
+		t.Fatal("bad method accepted")
+	}
+}

@@ -119,6 +119,81 @@ func TestSummarizeBatchCtxMidCancel(t *testing.T) {
 	}
 }
 
+// TestSummarizeBatchRawReviews exercises the raw-review batch path:
+// requests carrying Reviews instead of a pre-annotated Item are
+// annotated by the batch's shared pool and must produce exactly the
+// same summaries as annotate-then-batch.
+func TestSummarizeBatchRawReviews(t *testing.T) {
+	s := testSummarizer(t)
+	raws := testReviews()
+	var reqs []BatchRequest
+	for i := 0; i < 9; i++ {
+		reqs = append(reqs, BatchRequest{
+			ItemID:      fmt.Sprintf("p%d", i),
+			ItemName:    "Phone",
+			Reviews:     raws,
+			K:           1 + i%3,
+			Granularity: Granularity(i % 3),
+			Method:      MethodGreedy,
+		})
+	}
+	results := s.SummarizeBatch(reqs, 3)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		item := s.AnnotateItem(reqs[i].ItemID, reqs[i].ItemName, raws)
+		want, err := s.Summarize(item, reqs[i].K, reqs[i].Granularity, reqs[i].Method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Summary.Cost != want.Cost {
+			t.Fatalf("request %d: raw-review batch cost %v, sequential %v", i, r.Summary.Cost, want.Cost)
+		}
+	}
+}
+
+// TestSummarizeBatchItemWinsOverReviews pins the documented precedence:
+// when both Item and Reviews are set, Item is used and Reviews ignored.
+func TestSummarizeBatchItemWinsOverReviews(t *testing.T) {
+	s := testSummarizer(t)
+	item := s.AnnotateItem("p", "Phone", testReviews())
+	garbage := []Review{{ID: "g", Text: "zzzz qqqq", Rating: 0}}
+	results := s.SummarizeBatch([]BatchRequest{
+		{Item: item, Reviews: garbage, K: 2, Granularity: Sentences, Method: MethodGreedy},
+	}, 1)
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	want, err := s.Summarize(item, 2, Sentences, MethodGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Summary.Cost != want.Cost {
+		t.Fatal("Item did not take precedence over Reviews")
+	}
+}
+
+// TestSummarizeBatchMoreWorkersThanRequests: the worker count must be
+// clamped to len(reqs); results stay correct and complete.
+func TestSummarizeBatchMoreWorkersThanRequests(t *testing.T) {
+	s := testSummarizer(t)
+	item := s.AnnotateItem("p", "Phone", testReviews())
+	reqs := []BatchRequest{
+		{Item: item, K: 1, Granularity: Pairs, Method: MethodGreedy},
+		{ItemID: "raw", ItemName: "Phone", Reviews: testReviews(), K: 2, Granularity: Sentences, Method: MethodGreedy},
+	}
+	results := s.SummarizeBatch(reqs, 64) // far more workers than requests
+	if len(results) != len(reqs) {
+		t.Fatalf("results = %d, want %d", len(results), len(reqs))
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Summary == nil {
+			t.Fatalf("slot %d = %+v", i, r)
+		}
+	}
+}
+
 func TestSummarizeBatchEmptyAndDefaults(t *testing.T) {
 	s := testSummarizer(t)
 	if got := s.SummarizeBatch(nil, 0); len(got) != 0 {

@@ -21,6 +21,7 @@ import (
 	"osars/internal/extract"
 	"osars/internal/lp"
 	"osars/internal/model"
+	"osars/internal/ontology"
 	"osars/internal/sentiment"
 	"osars/internal/summarize"
 	"osars/internal/text"
@@ -495,3 +496,136 @@ func BenchmarkScalingQuantized250(b *testing.B)  { benchScalingQuantized(b, 250)
 func BenchmarkScalingQuantized500(b *testing.B)  { benchScalingQuantized(b, 500) }
 func BenchmarkScalingQuantized1000(b *testing.B) { benchScalingQuantized(b, 1000) }
 func BenchmarkScalingQuantized2000(b *testing.B) { benchScalingQuantized(b, 2000) }
+
+// --- Cold path (PR 2): per-layer microbenches -----------------------
+//
+// These isolate each layer of the cold path (the work a cache miss or
+// an AppendReviews pays): annotation, coverage-graph construction, and
+// greedy selection, plus the end-to-end cold Summarize. cmd/osars-bench
+// runs the same measurements standalone and records them in
+// BENCH_coldpath.json.
+
+type coldFixtures struct {
+	ont   *ontology.Ontology
+	sum   *Summarizer
+	pipe  *extract.Pipeline
+	raws  [][]extract.RawReview
+	items []*model.Item
+	toks  [][]string // tokenized sentences of item 0
+}
+
+var (
+	coldOnce sync.Once
+	cold     *coldFixtures
+)
+
+func coldFix() *coldFixtures {
+	coldOnce.Do(func() {
+		cfg := dataset.DoctorConfig(1)
+		cfg.NumItems = 3
+		cfg.TotalReviews = 210
+		cfg.MinReviews = 60
+		cfg.MaxReviews = 80
+		c := dataset.Generate(cfg)
+		cold = &coldFixtures{ont: c.Ont}
+		s, err := New(Config{Ontology: c.Ont})
+		if err != nil {
+			panic(err)
+		}
+		cold.sum = s
+		cold.pipe = extract.NewPipeline(extract.NewMatcher(c.Ont), sentiment.Lexicon{})
+		for _, it := range c.Items {
+			var raws []extract.RawReview
+			for _, r := range it.Reviews {
+				raws = append(raws, extract.RawReview{ID: r.ID, Text: r.Text, Rating: r.Rating})
+			}
+			cold.raws = append(cold.raws, raws)
+			cold.items = append(cold.items, cold.pipe.AnnotateItem(it.ID, it.Name, raws))
+		}
+		for _, r := range c.Items[0].Reviews {
+			for _, sent := range text.SplitSentences(r.Text) {
+				cold.toks = append(cold.toks, text.Tokenize(sent))
+			}
+		}
+	})
+	return cold
+}
+
+// BenchmarkColdAnnotateItem is the sequential annotation layer: one
+// whole doctor item through tokenize + match + sentiment.
+func BenchmarkColdAnnotateItem(b *testing.B) {
+	f := coldFix()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.pipe.AnnotateItem("d", "Doc", f.raws[i%len(f.raws)])
+	}
+}
+
+// BenchmarkColdMatcherStemmed isolates Matcher.MatchTokens with
+// Porter-stemmed matching (the MetaMap-equivalent configuration whose
+// per-probe re-stemming this PR removes).
+func BenchmarkColdMatcherStemmed(b *testing.B) {
+	f := coldFix()
+	m := extract.NewMatcherWithOptions(f.ont, extract.MatcherOptions{Stem: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatchTokens(f.toks[i%len(f.toks)])
+	}
+}
+
+// BenchmarkColdBuildSentences is the §4.1 initialization layer at the
+// sentences granularity used by the service default.
+func BenchmarkColdBuildSentences(b *testing.B) {
+	f := coldFix()
+	m := model.Metric{Ont: f.ont, Epsilon: 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coverage.Build(m, f.items[i%len(f.items)], model.GranularitySentences)
+	}
+}
+
+// BenchmarkColdGreedySentences is the selection layer alone over a
+// prebuilt sentences graph.
+func BenchmarkColdGreedySentences(b *testing.B) {
+	f := coldFix()
+	m := model.Metric{Ont: f.ont, Epsilon: 0.5}
+	g := coverage.Build(m, f.items[0], model.GranularitySentences)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		summarize.Greedy(g, benchK)
+	}
+}
+
+// BenchmarkColdCostOf evaluates a fixed selection against a prebuilt
+// graph — the per-request evaluation path.
+func BenchmarkColdCostOf(b *testing.B) {
+	f := coldFix()
+	m := model.Metric{Ont: f.ont, Epsilon: 0.5}
+	g := coverage.Build(m, f.items[0], model.GranularitySentences)
+	sel := summarize.Greedy(g, benchK).Selected
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CostOf(sel)
+	}
+}
+
+// BenchmarkColdSummarize is the acceptance bench: the full cold path
+// (annotate + build + greedy, sentences, doctor fixture) exactly as a
+// cache miss pays it.
+func BenchmarkColdSummarize(b *testing.B) {
+	f := coldFix()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(f.raws)
+		item := f.sum.AnnotateItem("d", "Doc", f.raws[j])
+		if _, err := f.sum.Summarize(item, benchK, Sentences, MethodGreedy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

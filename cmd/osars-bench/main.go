@@ -1,0 +1,302 @@
+// Command osars-bench is the cold-path benchmark-regression harness.
+//
+// Run mode (default) measures the cold serving path layer by layer —
+// annotation, stemmed concept matching, coverage-graph build, greedy
+// selection, cost evaluation, and the full end-to-end Summarize — on
+// the same doctor-review fixture as the BenchmarkCold* benches in
+// bench_test.go, and writes the results as JSON:
+//
+//	osars-bench -o BENCH_coldpath.json        # full run (~1s/bench)
+//	osars-bench -short -o /tmp/smoke.json     # CI smoke (~50ms/bench)
+//
+// Compare mode diffs two result files and fails (exit 1) when any
+// benchmark's ns/op regressed beyond the tolerance:
+//
+//	osars-bench -compare BENCH_coldpath.json new.json -tol 0.25
+//
+// The ns/op gate uses -tol; allocs/op gets only a tiny fixed slack
+// (2% and ≥2 absolute — enough to absorb the b.N-dependent fixture
+// mix, small enough to catch any real allocation regression).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"osars"
+	"osars/internal/coverage"
+	"osars/internal/dataset"
+	"osars/internal/extract"
+	"osars/internal/model"
+	"osars/internal/sentiment"
+	"osars/internal/summarize"
+	"osars/internal/text"
+)
+
+const benchK = 5
+
+// Result is one benchmark's measurement, serialized to JSON.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the BENCH_coldpath.json schema. PrePRBaseline is an
+// optional historical record (the same benchmarks measured on the
+// code before a cold-path optimization PR) carried in a committed
+// baseline for before/after context; run mode does not write it and
+// compare mode ignores it.
+type File struct {
+	Schema        string    `json:"schema"`
+	Generated     time.Time `json:"generated"`
+	GoVersion     string    `json:"go"`
+	GOMAXPROCS    int       `json:"gomaxprocs"`
+	Short         bool      `json:"short"`
+	Benchmarks    []Result  `json:"benchmarks"`
+	PrePRBaseline []Result  `json:"pre_pr_baseline,omitempty"`
+}
+
+// fixture mirrors coldFix() in bench_test.go: a small doctor-review
+// corpus exercising the full extraction + coverage pipeline.
+type fixture struct {
+	sum   *osars.Summarizer
+	pipe  *extract.Pipeline
+	mat   *extract.Matcher // stemmed matcher
+	met   model.Metric
+	raws  [][]extract.RawReview
+	items []*model.Item
+	toks  [][]string
+}
+
+func buildFixture() *fixture {
+	cfg := dataset.DoctorConfig(1)
+	cfg.NumItems = 3
+	cfg.TotalReviews = 210
+	cfg.MinReviews = 60
+	cfg.MaxReviews = 80
+	c := dataset.Generate(cfg)
+	s, err := osars.New(osars.Config{Ontology: c.Ont})
+	if err != nil {
+		panic(err)
+	}
+	f := &fixture{
+		sum:  s,
+		pipe: extract.NewPipeline(extract.NewMatcher(c.Ont), sentiment.Lexicon{}),
+		mat:  extract.NewMatcherWithOptions(c.Ont, extract.MatcherOptions{Stem: true}),
+		met:  model.Metric{Ont: c.Ont, Epsilon: 0.5},
+	}
+	for _, it := range c.Items {
+		var raws []extract.RawReview
+		for _, r := range it.Reviews {
+			raws = append(raws, extract.RawReview{ID: r.ID, Text: r.Text, Rating: r.Rating})
+		}
+		f.raws = append(f.raws, raws)
+		f.items = append(f.items, f.pipe.AnnotateItem(it.ID, it.Name, raws))
+	}
+	for _, r := range c.Items[0].Reviews {
+		for _, sent := range text.SplitSentences(r.Text) {
+			f.toks = append(f.toks, text.Tokenize(sent))
+		}
+	}
+	return f
+}
+
+// benches returns the named benchmark bodies, mirroring the
+// BenchmarkCold* set in bench_test.go so `go test -bench Cold` and
+// this harness measure the same code paths.
+func benches(f *fixture) []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	g := coverage.Build(f.met, f.items[0], model.GranularitySentences)
+	sel := summarize.Greedy(g, benchK).Selected
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"ColdAnnotateItem", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.pipe.AnnotateItem("d", "Doc", f.raws[i%len(f.raws)])
+			}
+		}},
+		{"ColdMatcherStemmed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.mat.MatchTokens(f.toks[i%len(f.toks)])
+			}
+		}},
+		{"ColdBuildSentences", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				coverage.Build(f.met, f.items[i%len(f.items)], model.GranularitySentences)
+			}
+		}},
+		{"ColdGreedySentences", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				summarize.Greedy(g, benchK)
+			}
+		}},
+		{"ColdCostOf", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.CostOf(sel)
+			}
+		}},
+		{"ColdSummarize", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j := i % len(f.raws)
+				item := f.sum.AnnotateItem("d", "Doc", f.raws[j])
+				if _, err := f.sum.Summarize(item, benchK, osars.Sentences, osars.MethodGreedy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+func runMode(out string, short bool) error {
+	// testing.Benchmark honours -test.benchtime; register the testing
+	// flags so we can shrink it for the CI smoke run.
+	benchtime := "1s"
+	if short {
+		benchtime = "50ms"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return err
+	}
+	f := buildFixture()
+	file := File{
+		Schema:     "osars-bench/v1",
+		Generated:  time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Short:      short,
+	}
+	for _, bm := range benches(f) {
+		fn := bm.fn
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			fn(b)
+		})
+		res := Result{
+			Name:        bm.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		file.Benchmarks = append(file.Benchmarks, res)
+		fmt.Printf("%-22s %10d iters  %12.0f ns/op  %8d B/op  %6d allocs/op\n",
+			res.Name, res.N, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "osars-bench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, f.Schema)
+	}
+	return &f, nil
+}
+
+func compareMode(oldPath, newPath string, tol float64) error {
+	oldF, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Result{}
+	for _, r := range oldF.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	failed := false
+	fmt.Printf("%-22s %14s %14s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	for _, n := range newF.Benchmarks {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Printf("%-22s %14s %14.0f %8s  new\n", n.Name, "-", n.NsPerOp, "-")
+			continue
+		}
+		delete(oldBy, n.Name)
+		ratio := n.NsPerOp/o.NsPerOp - 1
+		verdict := "ok"
+		if ratio > tol {
+			verdict = fmt.Sprintf("FAIL (> %+.0f%% tolerance)", tol*100)
+			failed = true
+		}
+		// Allocs are near-deterministic; allow only jitter from the
+		// b.N-dependent fixture mix (2% and at least 2 absolute).
+		allocSlack := o.AllocsPerOp / 50
+		if allocSlack < 2 {
+			allocSlack = 2
+		}
+		if n.AllocsPerOp > o.AllocsPerOp+allocSlack {
+			verdict = fmt.Sprintf("FAIL (allocs %d -> %d)", o.AllocsPerOp, n.AllocsPerOp)
+			failed = true
+		}
+		fmt.Printf("%-22s %14.0f %14.0f %+7.1f%%  %s\n", n.Name, o.NsPerOp, n.NsPerOp, ratio*100, verdict)
+	}
+	for name := range oldBy {
+		fmt.Printf("%-22s missing from %s\n", name, newPath)
+		failed = true
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression beyond tolerance %.0f%%", tol*100)
+	}
+	fmt.Println("all benchmarks within tolerance")
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_coldpath.json", "output file for run mode (\"-\" for stdout)")
+	short := flag.Bool("short", false, "CI smoke mode: ~50ms per benchmark instead of ~1s")
+	compare := flag.Bool("compare", false, "compare mode: osars-bench -compare OLD.json NEW.json")
+	tol := flag.Float64("tol", 0.25, "compare mode: allowed fractional ns/op regression (0.25 = +25%)")
+	testing.Init() // registers -test.benchtime before flag.Parse
+	flag.Parse()
+
+	var err error
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: osars-bench -compare OLD.json NEW.json [-tol 0.25]")
+			os.Exit(2)
+		}
+		err = compareMode(flag.Arg(0), flag.Arg(1), *tol)
+	} else {
+		err = runMode(*out, *short)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osars-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -22,6 +22,12 @@
 //
 // The store is tuned with -cache-entries / -cache-bytes and disabled
 // entirely with -stateless.
+//
+// Profiling: -pprof addr serves net/http/pprof on a SEPARATE listener
+// (keep it loopback-only; it is never mixed into the service mux):
+//
+//	osars-serve -addr :8080 -pprof localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -48,6 +55,7 @@ func main() {
 		stateless    = flag.Bool("stateless", false, "disable the stateful /v1/items API")
 		cacheEntries = flag.Int("cache-entries", 1024, "summary cache entry budget (negative disables caching)")
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "summary cache byte budget (negative: entry-count only)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -80,6 +88,28 @@ func main() {
 			MaxCacheEntries: *cacheEntries,
 			MaxCacheBytes:   *cacheBytes,
 		})
+	}
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: the profiling
+		// endpoints never share a port (or a handler tree) with the
+		// public API, so exposing the service does not expose pprof.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			psrv := &http.Server{
+				Addr:              *pprofAddr,
+				Handler:           pm,
+				ReadHeaderTimeout: 10 * time.Second,
+			}
+			fmt.Printf("osars-serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("osars-serve: pprof listener: %v", err)
+			}
+		}()
 	}
 	h := server.NewWithStore(sum, st)
 	srv := &http.Server{

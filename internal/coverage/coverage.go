@@ -9,18 +9,30 @@
 // at Definition-1 distance d.
 //
 // The graph is built exactly as the paper describes: a first pass
-// buckets candidate pairs by concept; a second pass walks, for each
+// buckets candidate pairs by concept; a second pass iterates, for each
 // target pair, the ancestors of its concept in the DAG and probes the
-// buckets. (The paper walks ancestors by DFS; we use BFS, which visits
-// the same ancestor set but yields shortest up-distances directly —
-// DFS would need explicit minimum tracking on multi-parent DAGs.)
-// Because the average number of ancestors per concept is small,
+// buckets. (The paper walks ancestors by DFS; we use BFS order, which
+// visits the same ancestor set but yields shortest up-distances
+// directly — DFS would need explicit minimum tracking on multi-parent
+// DAGs.) Because the average number of ancestors per concept is small,
 // construction is near-linear in |P|.
+//
+// The production builder consumes the ontology's precomputed ancestor
+// closure (ontology.Ancestors) instead of re-running a BFS per target
+// pair, stores the concept buckets as one counting-sorted CSR block
+// indexed by ConceptID instead of a map of append-lists, and fills the
+// dual CSR adjacency in two exact-size passes with no per-target
+// intermediate lists. All transient build state is recycled through a
+// sync.Pool for server workloads. The original walker-based builder is
+// kept (BuildGroupsWalker / BuildPairsWalker) as the ablation
+// reference; the equivalence tests assert the two produce identical
+// graphs.
 package coverage
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"osars/internal/model"
 	"osars/internal/ontology"
@@ -91,24 +103,77 @@ func (g *Graph) Coverers(w int, fn func(u int, dist int) bool) {
 // Degree returns the number of pairs candidate u covers.
 func (g *Graph) Degree(u int) int { return int(g.fwdIdx[u+1] - g.fwdIdx[u]) }
 
+// CoveredRow returns the forward CSR row of candidate u: the pair
+// indices it covers and the matching Definition-1 distances. The
+// slices alias the graph's storage and must not be modified. This is
+// the allocation- and closure-free counterpart of Covered for hot
+// loops (the greedy key updates walk these rows directly).
+func (g *Graph) CoveredRow(u int) (pairs, dists []int32) {
+	lo, hi := g.fwdIdx[u], g.fwdIdx[u+1]
+	return g.fwdPair[lo:hi], g.fwdDist[lo:hi]
+}
+
+// CoverersRow returns the backward CSR row of pair w: the candidate
+// indices covering it and the matching distances. The slices alias the
+// graph's storage and must not be modified.
+func (g *Graph) CoverersRow(w int) (cands, dists []int32) {
+	lo, hi := g.bwdIdx[w], g.bwdIdx[w+1]
+	return g.bwdCand[lo:hi], g.bwdDist[lo:hi]
+}
+
+// CostScratch holds reusable state for CostOfWith so that repeated
+// cost evaluations (randomized-rounding trials, local-search guards,
+// per-request server evaluation) allocate nothing after the first
+// call. The zero value is ready; a scratch may be reused across graphs
+// of different sizes but is NOT safe for concurrent use.
+type CostScratch struct {
+	stamp []uint32
+	gen   uint32
+}
+
+// mark stamps the selected candidates, growing the stamp array to
+// hold n candidates, and returns the current generation.
+func (s *CostScratch) mark(n int, selected []int) uint32 {
+	if cap(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+	}
+	s.stamp = s.stamp[:n]
+	s.gen++
+	if s.gen == 0 { // wrapped: clear stale stamps
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+	for _, u := range selected {
+		s.stamp[u] = s.gen
+	}
+	return s.gen
+}
+
 // CostOf evaluates C(F, P) for a set of selected candidates using only
 // the precomputed graph: each pair is charged the minimum distance over
 // selected coverers, with the root as fallback.
 func (g *Graph) CostOf(selected []int) float64 {
-	chosen := make([]bool, g.NumCandidates)
-	for _, u := range selected {
-		chosen[u] = true
-	}
+	var s CostScratch
+	return g.CostOfWith(&s, selected)
+}
+
+// CostOfWith is CostOf with caller-owned scratch, for evaluation loops
+// that must not allocate per call.
+func (g *Graph) CostOfWith(s *CostScratch, selected []int) float64 {
+	gen := s.mark(g.NumCandidates, selected)
+	stamp := s.stamp
 	total := 0
 	for w := range g.Pairs {
-		best := int(g.RootDist[w])
-		g.Coverers(w, func(u, dist int) bool {
-			if chosen[u] && dist < best {
-				best = dist
+		best := g.RootDist[w]
+		lo, hi := g.bwdIdx[w], g.bwdIdx[w+1]
+		for i := lo; i < hi; i++ {
+			if d := g.bwdDist[i]; d < best && stamp[g.bwdCand[i]] == gen {
+				best = d
 			}
-			return true
-		})
-		total += best * int(g.Weight[w])
+		}
+		total += int(best) * int(g.Weight[w])
 	}
 	return float64(total)
 }
@@ -210,6 +275,242 @@ func Build(m model.Metric, item *model.Item, g model.Granularity) *Graph {
 }
 
 func build(m model.Metric, groups [][]model.Pair, pairs []model.Pair) *Graph {
+	return buildClosure(m, groups, pairs, nil)
+}
+
+// buildScratch is the pooled transient state of buildClosure. Every
+// slice grows monotonically and is reused across builds, so a server
+// solving cache misses in a loop stops allocating build scratch after
+// warm-up.
+type buildScratch struct {
+	bucketIdx  []int32   // len numConcepts+1: bucket CSR offsets
+	bucketCand []int32   // candidate of each occurrence, grouped by concept
+	bucketSent []float64 // sentiment of each occurrence
+	cursor     []int32   // per-concept fill cursor / per-candidate next
+	perW       []int32   // edges counted per target pair
+	candCount  []int32   // edges counted per candidate (+1 shifted)
+	stamp      []uint32  // per-candidate dedup stamps
+	gen        uint32
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+// grow32 resizes buf to n, reusing capacity.
+func grow32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// nextGen advances the scratch's dedup generation, clearing stamps on
+// wrap-around, and returns the fresh generation.
+func (s *buildScratch) nextGen() uint32 {
+	s.gen++
+	if s.gen == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+	return s.gen
+}
+
+// buildClosure is the production §4.1 initialization. It differs from
+// the walker reference in three ways, none observable in the output:
+//
+//  1. the per-target ancestor BFS is replaced by a read of the
+//     ontology's precomputed closure row (same ancestor set, same BFS
+//     order, same shortest up-distances);
+//  2. the concept buckets are a counting-sorted CSR block indexed by
+//     ConceptID instead of map[ConceptID][]bucketEntry;
+//  3. edges are counted in one pass and written straight into the
+//     exact-size dual CSR in a second, instead of accumulating
+//     per-target [][]int32 append lists that finish() re-copies.
+//
+// weight == nil means all multiplicities are 1.
+func buildClosure(m model.Metric, groups [][]model.Pair, pairs []model.Pair, weight []int32) *Graph {
+	ont := m.Ont
+	numConcepts := ont.Len()
+	numCand := len(groups)
+	root := ont.Root()
+	eps := m.Epsilon
+
+	s := buildPool.Get().(*buildScratch)
+	defer buildPool.Put(s)
+
+	// First pass (§4.1): bucket candidate pair occurrences by concept —
+	// counting sort into one CSR block.
+	bucketIdx := grow32(s.bucketIdx, numConcepts+1)
+	for i := range bucketIdx {
+		bucketIdx[i] = 0
+	}
+	occ := 0
+	for _, g := range groups {
+		for _, p := range g {
+			bucketIdx[p.Concept+1]++
+			occ++
+		}
+	}
+	for c := 1; c <= numConcepts; c++ {
+		bucketIdx[c] += bucketIdx[c-1]
+	}
+	bucketCand := grow32(s.bucketCand, occ)
+	bucketSent := growF64(s.bucketSent, occ)
+	cursor := grow32(s.cursor, numConcepts)
+	if numCand > numConcepts {
+		cursor = grow32(cursor, numCand) // shared with the fwd fill below
+	}
+	copy(cursor[:numConcepts], bucketIdx[:numConcepts])
+	for u, g := range groups {
+		for _, p := range g {
+			pos := cursor[p.Concept]
+			cursor[p.Concept]++
+			bucketCand[pos] = int32(u)
+			bucketSent[pos] = p.Sentiment
+		}
+	}
+
+	// Grow the dedup stamps once; generations handle logical clearing.
+	if cap(s.stamp) < numCand {
+		s.stamp = make([]uint32, numCand)
+	}
+	stamp := s.stamp[:numCand]
+
+	// Second pass, count stage: for each target pair, scan its
+	// concept's closure row and probe the buckets, counting edges per
+	// target and per candidate. BFS order in the row gives
+	// non-decreasing distances, so the first qualifying occurrence of a
+	// candidate is its minimum edge weight; the stamp dedups.
+	perW := grow32(s.perW, len(pairs))
+	candCount := grow32(s.candCount, numCand+1)
+	for i := range candCount {
+		candCount[i] = 0
+	}
+	for w := range pairs {
+		target := &pairs[w]
+		gen := s.nextGen()
+		ids, _ := ont.Ancestors(target.Concept)
+		n := int32(0)
+		for _, anc := range ids {
+			isRoot := anc == root
+			for bi := bucketIdx[anc]; bi < bucketIdx[anc+1]; bi++ {
+				cand := bucketCand[bi]
+				if stamp[cand] == gen {
+					continue
+				}
+				if !isRoot {
+					diff := bucketSent[bi] - target.Sentiment
+					if diff < 0 {
+						diff = -diff
+					}
+					if diff > eps {
+						continue
+					}
+				}
+				stamp[cand] = gen
+				candCount[cand+1]++
+				n++
+			}
+		}
+		perW[w] = n
+	}
+
+	g := &Graph{
+		Metric:        m,
+		Pairs:         pairs,
+		RootDist:      make([]int32, len(pairs)),
+		Weight:        weight,
+		NumCandidates: numCand,
+	}
+	if g.Weight == nil {
+		g.Weight = make([]int32, len(pairs))
+		for w := range g.Weight {
+			g.Weight[w] = 1
+		}
+	}
+	for w := range pairs {
+		g.RootDist[w] = int32(ont.Depth(pairs[w].Concept))
+	}
+
+	// Exact-size dual CSR, offsets from the counts.
+	g.bwdIdx = make([]int32, len(pairs)+1)
+	for w := range pairs {
+		g.bwdIdx[w+1] = g.bwdIdx[w] + perW[w]
+	}
+	total := int(g.bwdIdx[len(pairs)])
+	g.bwdCand = make([]int32, total)
+	g.bwdDist = make([]int32, total)
+	for u := 1; u <= numCand; u++ {
+		candCount[u] += candCount[u-1]
+	}
+	g.fwdIdx = candCount[:numCand+1]
+	// fwdIdx is retained by the Graph, so it must leave the pool.
+	g.fwdIdx = append([]int32(nil), g.fwdIdx...)
+	g.fwdPair = make([]int32, total)
+	g.fwdDist = make([]int32, total)
+
+	// Second pass, fill stage: identical iteration (so identical dedup
+	// decisions and edge order), writing both CSR directions directly.
+	next := grow32(cursor, numCand) // reuse: per-candidate fwd cursor
+	copy(next, g.fwdIdx[:numCand])
+	bp := int32(0)
+	for w := range pairs {
+		target := &pairs[w]
+		gen := s.nextGen()
+		ids, dists := ont.Ancestors(target.Concept)
+		w32 := int32(w)
+		for ai, anc := range ids {
+			isRoot := anc == root
+			d := dists[ai]
+			for bi := bucketIdx[anc]; bi < bucketIdx[anc+1]; bi++ {
+				cand := bucketCand[bi]
+				if stamp[cand] == gen {
+					continue
+				}
+				if !isRoot {
+					diff := bucketSent[bi] - target.Sentiment
+					if diff < 0 {
+						diff = -diff
+					}
+					if diff > eps {
+						continue
+					}
+				}
+				stamp[cand] = gen
+				g.bwdCand[bp] = cand
+				g.bwdDist[bp] = d
+				bp++
+				pos := next[cand]
+				next[cand]++
+				g.fwdPair[pos] = w32
+				g.fwdDist[pos] = d
+			}
+		}
+	}
+
+	// Return the (possibly re-grown) scratch slices to the pool entry.
+	s.bucketIdx = bucketIdx
+	s.bucketCand = bucketCand
+	s.bucketSent = bucketSent
+	s.cursor = next
+	s.perW = perW
+	s.candCount = candCount[:0]
+	return g
+}
+
+// BuildGroupsWalker is the pre-closure reference builder: per-target
+// AncestorWalker BFS with map-backed buckets and per-target append
+// lists. Kept for the ablation benchmark and the equivalence tests;
+// production code paths use the closure-based builder.
+func BuildGroupsWalker(m model.Metric, groups [][]model.Pair, pairs []model.Pair) *Graph {
 	b := builder{
 		metric:   m,
 		pairs:    pairs,
@@ -219,6 +520,15 @@ func build(m model.Metric, groups [][]model.Pair, pairs []model.Pair) *Graph {
 	}
 	fillEdges(&b, groups)
 	return b.finish()
+}
+
+// BuildPairsWalker is BuildPairs through the walker reference builder.
+func BuildPairsWalker(m model.Metric, pairs []model.Pair) *Graph {
+	groups := make([][]model.Pair, len(pairs))
+	for i := range pairs {
+		groups[i] = pairs[i : i+1]
+	}
+	return BuildGroupsWalker(m, groups, pairs)
 }
 
 // fillEdges runs the two §4.1 passes, populating the per-target edge

@@ -49,14 +49,5 @@ func BuildPairsQuantized(m model.Metric, pairs []model.Pair, grid float64) (g *G
 	for i := range unique {
 		groups[i] = unique[i : i+1]
 	}
-	b := builder{
-		metric:   m,
-		pairs:    unique,
-		weight:   weight,
-		numCand:  len(groups),
-		edgeCand: make([][]int32, len(unique)),
-		edgeDist: make([][]int32, len(unique)),
-	}
-	fillEdges(&b, groups)
-	return b.finish(), rep
+	return buildClosure(m, groups, unique, weight), rep
 }

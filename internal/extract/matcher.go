@@ -16,6 +16,8 @@
 package extract
 
 import (
+	"sync"
+
 	"osars/internal/ontology"
 	"osars/internal/text"
 )
@@ -116,17 +118,38 @@ type Match struct {
 	Start, End int
 }
 
+// normPool recycles the per-call normalized-token buffers of
+// MatchTokens, so stemmed matching allocates only the stems
+// themselves.
+var normPool = sync.Pool{New: func() any { return new([]string) }}
+
 // MatchTokens scans a tokenized sentence left to right, emitting the
 // longest concept match at each position (overlapping shorter matches
 // are suppressed, as in MetaMap's longest-spanning-candidate default).
+//
+// When stemming is enabled, each token is normalized exactly once up
+// front into a pooled buffer. (The scan probes position j up to maxLen
+// times — once per window start — so the previous per-probe m.norm
+// call re-stemmed every token up to maxLen times.)
 func (m *Matcher) MatchTokens(tokens []string) []Match {
+	normed := tokens
+	var bufp *[]string
+	if m.stem {
+		bufp = normPool.Get().(*[]string)
+		buf := (*bufp)[:0]
+		for _, t := range tokens {
+			buf = append(buf, text.Stem(t))
+		}
+		*bufp = buf
+		normed = buf
+	}
 	var out []Match
-	for i := 0; i < len(tokens); {
+	for i := 0; i < len(normed); {
 		node := m.root
 		bestEnd := -1
 		best := ontology.None
-		for j := i; j < len(tokens) && j-i < m.maxLen; j++ {
-			next, ok := node.children[m.norm(tokens[j])]
+		for j := i; j < len(normed) && j-i < m.maxLen; j++ {
+			next, ok := node.children[normed[j]]
 			if !ok {
 				break
 			}
@@ -142,6 +165,9 @@ func (m *Matcher) MatchTokens(tokens []string) []Match {
 			continue
 		}
 		i++
+	}
+	if bufp != nil {
+		normPool.Put(bufp)
 	}
 	return out
 }

@@ -1,6 +1,10 @@
 package extract
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"osars/internal/model"
 	"osars/internal/sentiment"
 	"osars/internal/text"
@@ -11,6 +15,14 @@ import (
 // mapping of §5.1: "to compute the sentiment around a concept, we
 // compute the sentiment of the containing sentence and assign this
 // sentiment to the concept."
+//
+// Concurrency invariant: a Pipeline is safe for concurrent use. The
+// Matcher is immutable after construction, and every Estimator
+// implementation must be read-only in EstimateSentence (the built-in
+// Lexicon and Ridge estimators are: both only read state fixed at
+// construction/training time). AnnotateReviews relies on this to fan
+// annotation out across a worker pool; TestPipelineParallelMatchesSequential
+// exercises the invariant under -race.
 type Pipeline struct {
 	Matcher   *Matcher
 	Estimator sentiment.Estimator
@@ -57,11 +69,59 @@ type RawReview struct {
 	Rating float64
 }
 
-// AnnotateItem builds the full model.Item from raw reviews.
-func (p *Pipeline) AnnotateItem(id, name string, reviews []RawReview) *model.Item {
-	item := &model.Item{ID: id, Name: name}
-	for _, rr := range reviews {
-		item.Reviews = append(item.Reviews, p.AnnotateReview(rr.ID, rr.Text, rr.Rating))
+// AnnotateReviews annotates a batch of raw reviews across a bounded
+// worker pool and returns the annotated reviews in input order —
+// output is deterministic and byte-identical to the sequential path
+// for any worker count, because each review's annotation is
+// independent and workers write only their own result slot.
+//
+// workers ≤ 0 uses GOMAXPROCS; the count is clamped to len(reviews).
+// One review (or one worker) short-circuits to the sequential loop.
+func (p *Pipeline) AnnotateReviews(reviews []RawReview, workers int) []model.Review {
+	out := make([]model.Review, len(reviews))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return item
+	if workers > len(reviews) {
+		workers = len(reviews)
+	}
+	if workers <= 1 {
+		for i, rr := range reviews {
+			out[i] = p.AnnotateReview(rr.ID, rr.Text, rr.Rating)
+		}
+		return out
+	}
+	// Atomic work-stealing counter: cheaper than a channel per job and
+	// naturally balances reviews of uneven length.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reviews) {
+					return
+				}
+				rr := &reviews[i]
+				out[i] = p.AnnotateReview(rr.ID, rr.Text, rr.Rating)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// AnnotateItem builds the full model.Item from raw reviews,
+// sequentially. Use AnnotateItemParallel for large items on servers.
+func (p *Pipeline) AnnotateItem(id, name string, reviews []RawReview) *model.Item {
+	return &model.Item{ID: id, Name: name, Reviews: p.AnnotateReviews(reviews, 1)}
+}
+
+// AnnotateItemParallel is AnnotateItem with annotation fanned out
+// across workers (see AnnotateReviews for the worker semantics). The
+// resulting Item is identical to the sequential one.
+func (p *Pipeline) AnnotateItemParallel(id, name string, reviews []RawReview, workers int) *model.Item {
+	return &model.Item{ID: id, Name: name, Reviews: p.AnnotateReviews(reviews, workers)}
 }

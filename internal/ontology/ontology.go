@@ -13,8 +13,12 @@
 //   - Depth(c): the shortest-path length from the root to c, which is
 //     the coverage distance d(r, c) of the root (Definition 1).
 //   - ancestor iteration with shortest up-distances (§4.1 second pass),
-//     provided by AncestorWalker so that per-walk scratch space is
-//     reused across millions of walks without allocation.
+//     provided in two forms: a flattened CSR ancestor closure computed
+//     once at Build time (Ancestors, the hot path — the paper's own
+//     scalability argument is that "the average number of ancestors per
+//     concept is small", so the closure is cheap to store), and
+//     AncestorWalker, the original per-walk BFS kept as the ablation
+//     reference.
 package ontology
 
 import (
@@ -49,6 +53,16 @@ type Ontology struct {
 	root     ConceptID
 	numEdges int
 	maxDepth int32
+
+	// Ancestor closure in CSR layout, precomputed at Build time. Row c
+	// spans ancID/ancDist[ancIdx[c]:ancIdx[c+1]] and holds c itself
+	// (up-distance 0) followed by every strict ancestor of c in BFS
+	// order, each with its shortest up-distance. BFS order means
+	// distances within a row are non-decreasing — the property the
+	// coverage builder's first-hit-wins dedup relies on.
+	ancIdx  []int32
+	ancID   []ConceptID
+	ancDist []int32
 }
 
 // Builder accumulates concepts and edges and validates them into an
@@ -148,8 +162,51 @@ func (b *Builder) Build() (*Ontology, error) {
 		sortIDs(o.nodes[id].children)
 		sortIDs(o.nodes[id].parents)
 	}
+	o.buildAncestorClosure()
 	return o, nil
 }
+
+// buildAncestorClosure flattens every concept's ancestor set (self +
+// strict ancestors, BFS order, shortest up-distances) into one CSR
+// block. Must run after adjacency sorting so rows are deterministic.
+func (o *Ontology) buildAncestorClosure() {
+	w := NewAncestorWalker(o)
+	o.ancIdx = make([]int32, len(o.nodes)+1)
+	// Expect ≥2 entries per concept (self + root) on average; grow from
+	// there instead of reallocating from zero.
+	o.ancID = make([]ConceptID, 0, 2*len(o.nodes))
+	o.ancDist = make([]int32, 0, 2*len(o.nodes))
+	for id := range o.nodes {
+		o.ancIdx[id] = int32(len(o.ancID))
+		w.Walk(ConceptID(id), func(a ConceptID, d int) bool {
+			o.ancID = append(o.ancID, a)
+			o.ancDist = append(o.ancDist, int32(d))
+			return true
+		})
+	}
+	o.ancIdx[len(o.nodes)] = int32(len(o.ancID))
+}
+
+// Ancestors returns the precomputed closure row of c: c itself first
+// (up-distance 0), then every strict ancestor of c in BFS order with
+// its shortest up-distance, so distances are non-decreasing. The
+// returned slices alias the ontology's internal storage and must not
+// be modified. This is the allocation-free hot-path replacement for
+// AncestorWalker.Walk.
+func (o *Ontology) Ancestors(c ConceptID) (ids []ConceptID, dists []int32) {
+	lo, hi := o.ancIdx[c], o.ancIdx[c+1]
+	return o.ancID[lo:hi], o.ancDist[lo:hi]
+}
+
+// NumAncestors reports the number of strict ancestors of c.
+func (o *Ontology) NumAncestors(c ConceptID) int {
+	return int(o.ancIdx[c+1]-o.ancIdx[c]) - 1
+}
+
+// ClosureSize reports the total number of closure entries across all
+// concepts (a memory diagnostic; near-linear in Len() when the average
+// ancestor count is small, per §4.1).
+func (o *Ontology) ClosureSize() int { return len(o.ancID) }
 
 func sortIDs(ids []ConceptID) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -272,24 +329,12 @@ func (o *Ontology) IsAncestorOf(a, c ConceptID) bool {
 // UpDistance returns the shortest-path length from ancestor a down to
 // c (equivalently, from c up to a), or -1 if a is not an ancestor of c.
 func (o *Ontology) UpDistance(c, a ConceptID) int {
-	if a == c {
-		return 0
-	}
-	// BFS upward from c. Ontology ancestor sets are small (§4.1), so a
-	// transient map is acceptable for this occasional-use query; hot
-	// paths use AncestorWalker instead.
-	dist := map[ConceptID]int{c: 0}
-	queue := []ConceptID{c}
-	for i := 0; i < len(queue); i++ {
-		u := queue[i]
-		for _, p := range o.nodes[u].parents {
-			if _, seen := dist[p]; !seen {
-				dist[p] = dist[u] + 1
-				if p == a {
-					return dist[p]
-				}
-				queue = append(queue, p)
-			}
+	// Scan the precomputed closure row: ancestor sets are small (§4.1),
+	// so a linear probe beats any transient BFS and allocates nothing.
+	ids, dists := o.Ancestors(c)
+	for i, id := range ids {
+		if id == a {
+			return int(dists[i])
 		}
 	}
 	return -1
@@ -316,22 +361,20 @@ func (o *Ontology) Descendants(c ConceptID) []ConceptID {
 // concept. The paper (§4.1) relies on this being small for the
 // initialization phase to be near-linear in |P|.
 func (o *Ontology) AvgAncestors() float64 {
-	w := NewAncestorWalker(o)
-	total := 0
-	for id := range o.nodes {
-		n := 0
-		w.Walk(ConceptID(id), func(ConceptID, int) bool { n++; return true })
-		total += n - 1 // Walk includes the concept itself at distance 0
-	}
-	return float64(total) / float64(len(o.nodes))
+	// Each closure row holds the concept itself plus its strict
+	// ancestors, so the strict-ancestor total is ClosureSize − Len.
+	return float64(len(o.ancID)-len(o.nodes)) / float64(len(o.nodes))
 }
 
 // AncestorWalker iterates the ancestors of a concept together with
 // their shortest up-distances, reusing scratch buffers across walks.
 // It implements the second pass of the initialization phase (§4.1):
 // "for each pair p = (c, s), iterate over the ancestors of c in the
-// DAG". A walker is NOT safe for concurrent use; create one per
-// goroutine.
+// DAG". The hot path now reads the precomputed closure via Ancestors;
+// the walker is kept as the ablation reference (it is also what the
+// closure itself is built from, so the two are equal by construction —
+// the equivalence tests assert it anyway). A walker is NOT safe for
+// concurrent use; create one per goroutine.
 type AncestorWalker struct {
 	o     *Ontology
 	dist  []int32

@@ -34,6 +34,25 @@ func NewMax(capacity int) *Max {
 	}
 }
 
+// Reset empties the queue and re-dimensions it for item IDs in
+// [0, capacity), reusing the existing backing arrays when they are
+// large enough. After Reset the queue behaves exactly like one freshly
+// returned by NewMax(capacity); pooled greedy scratch relies on this
+// to reuse heaps across solves without allocation.
+func (m *Max) Reset(capacity int) {
+	if cap(m.pos) < capacity {
+		m.pos = make([]int, capacity)
+		m.key = make([]float64, capacity)
+		m.heap = make([]int, 0, capacity)
+	}
+	m.pos = m.pos[:capacity]
+	m.key = m.key[:capacity]
+	m.heap = m.heap[:0]
+	for i := range m.pos {
+		m.pos[i] = -1
+	}
+}
+
 // Len reports the number of items currently enqueued.
 func (m *Max) Len() int { return len(m.heap) }
 

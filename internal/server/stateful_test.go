@@ -168,9 +168,9 @@ func TestItemSummaryValidation(t *testing.T) {
 		path   string
 		status int
 	}{
-		{"/v1/items/p1/summary", http.StatusBadRequest},               // missing k
-		{"/v1/items/p1/summary?k=0", http.StatusBadRequest},           // k < 1
-		{"/v1/items/p1/summary?k=x", http.StatusBadRequest},           // non-integer k
+		{"/v1/items/p1/summary", http.StatusBadRequest},     // missing k
+		{"/v1/items/p1/summary?k=0", http.StatusBadRequest}, // k < 1
+		{"/v1/items/p1/summary?k=x", http.StatusBadRequest}, // non-integer k
 		{"/v1/items/p1/summary?k=2&granularity=words", http.StatusBadRequest},
 		{"/v1/items/p1/summary?k=2&method=magic", http.StatusBadRequest},
 		{"/v1/items/ghost/summary?k=2", http.StatusNotFound},

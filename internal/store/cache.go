@@ -13,8 +13,8 @@ import (
 // LRU; nothing is ever served stale.
 type lruCache struct {
 	mu         sync.Mutex
-	maxEntries int   // ≤ 0 disables the cache entirely
-	maxBytes   int64 // ≤ 0 means no byte budget
+	maxEntries int        // ≤ 0 disables the cache entirely
+	maxBytes   int64      // ≤ 0 means no byte budget
 	ll         *list.List // front = most recently used
 	m          map[cacheKey]*list.Element
 	bytes      int64

@@ -182,11 +182,12 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 		return ItemStats{}, errors.New("store: item id must be non-empty")
 	}
 	// The expensive part — tokenization, concept matching, sentiment —
-	// runs outside any lock and touches only the new reviews.
-	annotated := make([]model.Review, len(reviews))
+	// runs outside any lock, touches only the new reviews, and fans out
+	// across GOMAXPROCS workers (order-preserving, so the stored corpus
+	// is byte-identical to sequential ingestion).
+	annotated := s.pipeline.AnnotateReviews(reviews, 0)
 	newSentences, newPairs := 0, 0
-	for i, rr := range reviews {
-		annotated[i] = s.pipeline.AnnotateReview(rr.ID, rr.Text, rr.Rating)
+	for i := range annotated {
 		newSentences += len(annotated[i].Sentences)
 		for si := range annotated[i].Sentences {
 			newPairs += len(annotated[i].Sentences[si].Pairs)

@@ -20,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"osars/internal/coverage"
 	"osars/internal/lp"
@@ -50,32 +51,63 @@ func checkK(g *coverage.Graph, k int) {
 	}
 }
 
+// greedyScratch is the pooled per-solve state of Greedy: the current
+// pair distances, the initial key vector and the indexed heap. Slices
+// grow monotonically and are reused across solves, so a server solving
+// cache misses in a loop allocates only the returned Result.
+type greedyScratch struct {
+	curDist []int32
+	keys    []float64
+	heap    *pq.Max
+}
+
+var greedyPool = sync.Pool{New: func() any { return new(greedyScratch) }}
+
 // Greedy runs Algorithm 2: start from F = {root}, repeat k times
 // adding the candidate with the largest cost reduction δ(p, F), chosen
 // by an indexed max-heap whose keys are updated incrementally through
 // the covered pairs' coverer lists (the "neighbors of neighbors" of
-// the selected candidate).
+// the selected candidate). The inner loops walk the graph's CSR rows
+// directly (CoveredRow/CoverersRow) rather than through the Covered /
+// Coverers closures, and all scratch state is pooled.
 func Greedy(g *coverage.Graph, k int) *Result {
 	checkK(g, k)
 	n := g.NumCandidates
 
+	s := greedyPool.Get().(*greedyScratch)
+	defer greedyPool.Put(s)
+
 	// curDist[w] = current distance from F ∪ {root} to pair w.
-	curDist := make([]int32, len(g.Pairs))
+	if cap(s.curDist) < len(g.Pairs) {
+		s.curDist = make([]int32, len(g.Pairs))
+	}
+	curDist := s.curDist[:len(g.Pairs)]
 	copy(curDist, g.RootDist)
 
 	// Initial keys: δ(u, {root}) = Σ_w max(0, RootDist[w] − d(u,w)).
-	keys := make([]float64, n)
-	for u := 0; u < n; u++ {
-		gain := 0.0
-		g.Covered(u, func(w, d int) bool {
-			if diff := int(curDist[w]) - d; diff > 0 {
-				gain += float64(diff * int(g.Weight[w]))
-			}
-			return true
-		})
-		keys[u] = gain
+	// With F = {root}, curDist[w] − d is never negative (d ≤ RootDist
+	// by Definition 1), but keep the guard for safety with weighted
+	// duplicate edges.
+	if cap(s.keys) < n {
+		s.keys = make([]float64, n)
 	}
-	heap := pq.NewMax(n)
+	keys := s.keys[:n]
+	for u := 0; u < n; u++ {
+		gain := 0
+		pairsRow, distsRow := g.CoveredRow(u)
+		for i, w := range pairsRow {
+			if diff := curDist[w] - distsRow[i]; diff > 0 {
+				gain += int(diff) * int(g.Weight[w])
+			}
+		}
+		keys[u] = float64(gain)
+	}
+	if s.heap == nil {
+		s.heap = pq.NewMax(n)
+	} else {
+		s.heap.Reset(n)
+	}
+	heap := s.heap
 	heap.BuildFrom(keys)
 
 	res := &Result{Selected: make([]int, 0, k)}
@@ -83,15 +115,21 @@ func Greedy(g *coverage.Graph, k int) *Result {
 		u, _ := heap.PopMax()
 		res.Selected = append(res.Selected, u)
 		// Tighten covered pairs and adjust affected coverers' keys.
-		g.Covered(u, func(w, d int) bool {
-			old := int(curDist[w])
+		pairsRow, distsRow := g.CoveredRow(u)
+		for i, w := range pairsRow {
+			d := distsRow[i]
+			old := curDist[w]
 			if d >= old {
-				return true
+				continue
 			}
-			g.Coverers(w, func(q, dq int) bool {
+			weight := int(g.Weight[w])
+			cands, cdists := g.CoverersRow(int(w))
+			for j, q32 := range cands {
+				q := int(q32)
 				if !heap.Contains(q) {
-					return true
+					continue
 				}
+				dq := cdists[j]
 				oldContrib := old - dq
 				if oldContrib < 0 {
 					oldContrib = 0
@@ -100,14 +138,12 @@ func Greedy(g *coverage.Graph, k int) *Result {
 				if newContrib < 0 {
 					newContrib = 0
 				}
-				if delta := newContrib - oldContrib; delta != 0 {
-					heap.Update(q, heap.Key(q)+float64(delta*int(g.Weight[w])))
+				if delta := int(newContrib) - int(oldContrib); delta != 0 {
+					heap.Update(q, heap.Key(q)+float64(delta*weight))
 				}
-				return true
-			})
-			curDist[w] = int32(d)
-			return true
-		})
+			}
+			curDist[w] = d
+		}
 	}
 	total := 0
 	for w, d := range curDist {
@@ -259,9 +295,10 @@ func RandomizedRoundingBest(g *coverage.Graph, k, trials int, rng *rand.Rand, lp
 		return nil, fmt.Errorf("summarize: randomized rounding: %w", err)
 	}
 	best := &Result{Cost: math.Inf(1), LPIters: lpRes.Iters, LPObjective: lpRes.Objective}
+	var cs coverage.CostScratch // one scratch across all trials
 	for t := 0; t < trials; t++ {
 		sel := sampleWithoutReplacement(lpRes.X, k, rng)
-		if c := g.CostOf(sel); c < best.Cost {
+		if c := g.CostOfWith(&cs, sel); c < best.Cost {
 			sort.Ints(sel)
 			best.Selected = sel
 			best.Cost = c
@@ -309,10 +346,11 @@ func BruteForce(g *coverage.Graph, k int) *Result {
 	sel := make([]int, k)
 	best := math.Inf(1)
 	var bestSel []int
+	var cs coverage.CostScratch
 	var rec func(start, depth int)
 	rec = func(start, depth int) {
 		if depth == k {
-			if c := g.CostOf(sel); c < best {
+			if c := g.CostOfWith(&cs, sel); c < best {
 				best = c
 				bestSel = append(bestSel[:0], sel...)
 			}

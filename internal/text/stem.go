@@ -9,7 +9,19 @@ func Stem(word string) string {
 	if len(word) <= 2 {
 		return word
 	}
-	w := []byte(word)
+	// Work on a stack buffer when the word fits (one spare byte for the
+	// 'e' step1b can append); every step below mutates the buffer in
+	// place or reslices it, so the only possible heap allocation is the
+	// final string — and that is skipped when stemming was an identity,
+	// the common case on review text.
+	var arr [60]byte
+	var w []byte
+	if len(word) < len(arr) {
+		w = append(arr[:0], word...)
+	} else {
+		w = make([]byte, 0, len(word)+1)
+		w = append(w, word...)
+	}
 	w = step1a(w)
 	w = step1b(w)
 	w = step1c(w)
@@ -18,6 +30,9 @@ func Stem(word string) string {
 	w = step4(w)
 	w = step5a(w)
 	w = step5b(w)
+	if string(w) == word { // compiler-optimized comparison: no alloc
+		return word
+	}
 	return string(w)
 }
 
@@ -106,7 +121,10 @@ func replaceIf(w []byte, s, r string, m0 int) ([]byte, bool) {
 	}
 	stem := w[:len(w)-len(s)]
 	if measure(stem) > m0 {
-		return append(append([]byte{}, stem...), r...), true
+		// In-place: w is always Stem's private buffer and every rule's
+		// replacement is no longer than its suffix, so the append stays
+		// within the backing array.
+		return append(stem, r...), true
 	}
 	return w, true // suffix matched; rule consumed even if not applied
 }
@@ -156,9 +174,7 @@ func step1b(w []byte) []byte {
 
 func step1c(w []byte) []byte {
 	if hasSuffix(w, "y") && hasVowel(w[:len(w)-1]) {
-		out := append([]byte{}, w...)
-		out[len(out)-1] = 'i'
-		return out
+		w[len(w)-1] = 'i' // in place: w is Stem's private buffer
 	}
 	return w
 }

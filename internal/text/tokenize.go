@@ -12,7 +12,84 @@ import (
 // digits are kept; an apostrophe is kept when surrounded by letters
 // ("don't"), as is an internal hyphen ("touch-screen" stays one
 // token); everything else separates tokens.
+//
+// Pure-ASCII input (the overwhelmingly common case for review text)
+// takes a byte-wise fast path that slices tokens straight out of s —
+// no []rune conversion, no per-rune builder writes, and zero
+// allocations per token unless the token contains an uppercase letter.
+// Any non-ASCII byte falls back to the rune-exact path; both paths
+// produce identical output on ASCII input.
 func Tokenize(s string) []string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return tokenizeRunes(s)
+		}
+	}
+	return tokenizeASCII(s)
+}
+
+func isASCIILetter(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isASCIIAlnum(c byte) bool {
+	return isASCIILetter(c) || (c >= '0' && c <= '9')
+}
+
+// tokenizeASCII is the byte-wise fast path. Tokens with no uppercase
+// letters are substrings of s (alloc-free); others are lowered through
+// a single reused buffer.
+func tokenizeASCII(s string) []string {
+	var tokens []string // lazily sized on first flush; nil when no tokens
+	var buf []byte      // lazily sized; reused across uppercase tokens
+	start := -1         // current token start in s; -1 when between tokens
+	hasUpper := false
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		if tokens == nil {
+			tokens = make([]string, 0, len(s)/6+1)
+		}
+		if hasUpper {
+			buf = buf[:0]
+			for k := start; k < end; k++ {
+				c := s[k]
+				if c >= 'A' && c <= 'Z' {
+					c |= 0x20
+				}
+				buf = append(buf, c)
+			}
+			tokens = append(tokens, string(buf))
+		} else {
+			tokens = append(tokens, s[start:end])
+		}
+		start = -1
+		hasUpper = false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case isASCIIAlnum(c):
+			if start < 0 {
+				start = i
+			}
+			if c >= 'A' && c <= 'Z' {
+				hasUpper = true
+			}
+		case (c == '\'' || c == '-') && start >= 0 && i+1 < len(s) && isASCIILetter(s[i+1]):
+			// Internal apostrophe/hyphen: stays part of the token.
+		default:
+			flush(i)
+		}
+	}
+	flush(len(s))
+	return tokens
+}
+
+// tokenizeRunes is the rune-exact reference path, used whenever the
+// input contains a non-ASCII byte.
+func tokenizeRunes(s string) []string {
 	var tokens []string
 	var cur strings.Builder
 	runes := []rune(s)
@@ -49,7 +126,108 @@ var abbreviations = map[string]bool{
 // a single capital letter (an initial), or sits between digits (a
 // decimal number). Newlines also terminate sentences, which matches
 // how review sites render paragraphs.
+//
+// Pure-ASCII input takes a byte-wise fast path whose emitted sentences
+// are trimmed substrings of s — the only allocations are the result
+// slice's growth. Non-ASCII input falls back to the rune-exact path;
+// both produce identical output on ASCII input.
 func SplitSentences(s string) []string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return splitSentencesRunes(s)
+		}
+	}
+	return splitSentencesASCII(s)
+}
+
+func splitSentencesASCII(s string) []string {
+	var out []string
+	start := 0
+	emit := func(end int) {
+		seg := strings.TrimSpace(s[start:end])
+		if seg != "" {
+			out = append(out, seg)
+		}
+		start = end
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\n':
+			emit(i + 1)
+		case '!', '?':
+			// Absorb runs like "!!" or "?!".
+			j := i
+			for j+1 < len(s) && (s[j+1] == '!' || s[j+1] == '?') {
+				j++
+			}
+			emit(j + 1)
+			i = j
+		case '.':
+			// Decimal number: 3.5
+			if i > 0 && i+1 < len(s) && isASCIIDigit(s[i-1]) && isASCIIDigit(s[i+1]) {
+				continue
+			}
+			// Ellipsis: treat "..." as one terminator.
+			j := i
+			for j+1 < len(s) && s[j+1] == '.' {
+				j++
+			}
+			word := trailingWordASCII(s[start:i])
+			if j == i && (isAbbrevFold(word) || isInitialASCII(word)) {
+				continue
+			}
+			emit(j + 1)
+			i = j
+		}
+	}
+	emit(len(s))
+	return out
+}
+
+func isASCIIDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// trailingWordASCII is trailingWord over a byte string: the word
+// (letters and internal periods, for "e.g") immediately preceding the
+// current position, with at most one trailing period stripped. The
+// result is a substring of s — no allocation.
+func trailingWordASCII(s string) string {
+	i := len(s)
+	for i > 0 && (isASCIILetter(s[i-1]) || s[i-1] == '.') {
+		i--
+	}
+	w := s[i:]
+	if strings.HasSuffix(w, ".") {
+		w = w[:len(w)-1]
+	}
+	return w
+}
+
+// isAbbrevFold reports whether word case-insensitively matches a known
+// abbreviation, without allocating (the lowercase copy lives on the
+// stack and the map lookup's string conversion is compiler-elided).
+func isAbbrevFold(word string) bool {
+	const maxAbbrev = 8 // longest entry is "approx" (6)
+	if len(word) > maxAbbrev {
+		return false
+	}
+	var buf [maxAbbrev]byte
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c >= 'A' && c <= 'Z' {
+			c |= 0x20
+		}
+		buf[i] = c
+	}
+	return abbreviations[string(buf[:len(word)])]
+}
+
+func isInitialASCII(word string) bool {
+	return len(word) == 1 && word[0] >= 'A' && word[0] <= 'Z'
+}
+
+// splitSentencesRunes is the rune-exact reference path, used whenever
+// the input contains a non-ASCII byte.
+func splitSentencesRunes(s string) []string {
 	var out []string
 	runes := []rune(s)
 	start := 0

@@ -144,8 +144,17 @@ func (s *Summarizer) Metric() model.Metric { return s.metric }
 
 // AnnotateItem runs the extraction pipeline (§5.1): sentence
 // splitting, ontology concept matching and sentence-level sentiment.
+// Annotation is fanned out across GOMAXPROCS workers (the pipeline's
+// matcher and estimator are read-only); the result is deterministic
+// and identical to sequential annotation.
 func (s *Summarizer) AnnotateItem(id, name string, reviews []Review) *Item {
-	return s.pipeline.AnnotateItem(id, name, reviews)
+	return s.pipeline.AnnotateItemParallel(id, name, reviews, 0)
+}
+
+// AnnotateItemWorkers is AnnotateItem with an explicit worker count
+// (≤ 0 means GOMAXPROCS, 1 forces sequential annotation).
+func (s *Summarizer) AnnotateItemWorkers(id, name string, reviews []Review, workers int) *Item {
+	return s.pipeline.AnnotateItemParallel(id, name, reviews, workers)
 }
 
 // Summary is a computed review summary.

@@ -4,7 +4,10 @@
 // annotation, stemmed concept matching, coverage-graph build, greedy
 // selection, cost evaluation, and the full end-to-end Summarize — on
 // the same doctor-review fixture as the BenchmarkCold* benches in
-// bench_test.go, and writes the results as JSON:
+// bench_test.go, plus the durability tax on ingestion: store appends
+// with the WAL off (StoreAppendMem), WAL on without fsync
+// (StoreAppendWALNoSync) and WAL on with fsync-per-ack
+// (StoreAppendWALSync). Results are written as JSON:
 //
 //	osars-bench -o BENCH_coldpath.json        # full run (~1s/bench)
 //	osars-bench -short -o /tmp/smoke.json     # CI smoke (~50ms/bench)
@@ -34,6 +37,7 @@ import (
 	"osars/internal/extract"
 	"osars/internal/model"
 	"osars/internal/sentiment"
+	"osars/internal/store"
 	"osars/internal/summarize"
 	"osars/internal/text"
 )
@@ -156,6 +160,68 @@ func benches(f *fixture) []struct {
 				}
 			}
 		}},
+		{"StoreAppendMem", storeAppendBench(f, false, store.FsyncNever)},
+		{"StoreAppendWALNoSync", storeAppendBench(f, true, store.FsyncNever)},
+		{"StoreAppendWALSync", storeAppendBench(f, true, store.FsyncAlways)},
+	}
+}
+
+// storeAppendBench measures one-review ingestion into the stateful
+// store: in-memory (the WAL-off baseline), WAL-on without fsync
+// (page-cache durability) and WAL-on with fsync-per-ack (the full
+// durability tax). Appends cycle over a fixed pool of item ids and
+// each item is recycled (deleted and restarted) after perItem appends,
+// so both the live heap and the copy-on-write merge stay bounded: a
+// fresh id per iteration makes per-op cost climb with b.N as the GC
+// scans an ever-growing corpus, and unbounded appends to pooled items
+// grow the merge copy with b.N — either would swamp the logging cost
+// being measured. The amortized Delete (1/perItem of ops, itself one
+// WAL record in durable mode) is part of the measured steady state.
+// Automatic snapshots are disabled so the run isolates the WAL append
+// itself.
+func storeAppendBench(f *fixture, durable bool, fsync store.FsyncPolicy) func(b *testing.B) {
+	const (
+		pool    = 1024
+		perItem = 16
+	)
+	return func(b *testing.B) {
+		cfg := store.Config{
+			Metric:        f.met,
+			Pipeline:      f.pipe,
+			SnapshotEvery: -1,
+		}
+		if durable {
+			dir, err := os.MkdirTemp("", "osars-bench-wal-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			cfg.DataDir = dir
+			cfg.Fsync = fsync
+		}
+		st, err := store.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		ids := make([]string, pool)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("item-%d", i)
+		}
+		rev := f.raws[0][:1]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := ids[(i/perItem)%pool]
+			if i%perItem == 0 {
+				if _, err := st.Delete(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := st.AppendReviews(id, "", rev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
 	}
 }
 

@@ -23,6 +23,18 @@
 // The store is tuned with -cache-entries / -cache-bytes and disabled
 // entirely with -stateless.
 //
+// Durable mode: with -data-dir the corpus survives restarts. Every
+// acknowledged write is appended to a CRC32C-framed write-ahead log
+// before the reply goes out (flush policy: -fsync always|interval|never),
+// snapshots bound recovery time (-snapshot-every), and on boot the
+// server restores latest-snapshot-then-replay:
+//
+//	osars-serve -addr :8080 -data-dir /var/lib/osars -fsync always
+//
+// On SIGINT/SIGTERM the server drains in-flight requests
+// (-shutdown-timeout), flushes the WAL and writes a final snapshot
+// before exiting, so the next boot replays nothing.
+//
 // Profiling: -pprof addr serves net/http/pprof on a SEPARATE listener
 // (keep it loopback-only; it is never mixed into the service mux):
 //
@@ -31,13 +43,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"osars"
@@ -55,6 +71,12 @@ func main() {
 		stateless    = flag.Bool("stateless", false, "disable the stateful /v1/items API")
 		cacheEntries = flag.Int("cache-entries", 1024, "summary cache entry budget (negative disables caching)")
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "summary cache byte budget (negative: entry-count only)")
+		dataDir      = flag.String("data-dir", "", "durable mode: persist the corpus (WAL + snapshots) in this directory; empty keeps the store in memory")
+		fsyncMode    = flag.String("fsync", "always", "WAL flush policy: always (sync before every ack), interval (background timer), never (OS page cache)")
+		fsyncEvery   = flag.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
+		snapEvery    = flag.Int("snapshot-every", 4096, "write a snapshot and compact the WAL after this many logged records (negative disables automatic snapshots)")
+		segBytes     = flag.Int64("wal-segment-bytes", 8<<20, "WAL segment rotation threshold")
+		shutdownWait = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
@@ -82,12 +104,36 @@ func main() {
 	if err != nil {
 		log.Fatalf("osars-serve: %v", err)
 	}
+	fsync, err := osars.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		log.Fatalf("osars-serve: %v", err)
+	}
 	var st *osars.Store
 	if !*stateless {
-		st = sum.NewStore(osars.StoreOptions{
+		st, err = sum.OpenStore(osars.StoreOptions{
 			MaxCacheEntries: *cacheEntries,
 			MaxCacheBytes:   *cacheBytes,
+			DataDir:         *dataDir,
+			Fsync:           fsync,
+			FsyncInterval:   *fsyncEvery,
+			SnapshotEvery:   *snapEvery,
+			WALSegmentBytes: *segBytes,
 		})
+		if err != nil {
+			log.Fatalf("osars-serve: open store: %v", err)
+		}
+		if rec, ok := st.Recovery(); ok {
+			fmt.Printf("osars-serve: recovered %d items from %s in %v "+
+				"(snapshot seq %d with %d items, %d WAL records replayed, wal seq %d",
+				rec.Items, *dataDir, rec.Duration.Round(time.Microsecond),
+				rec.SnapshotSeq, rec.SnapshotItems, rec.ReplayedRecords, rec.LastSeq)
+			if rec.TruncatedBytes > 0 {
+				fmt.Printf("; torn tail: %d bytes truncated, %d segments dropped", rec.TruncatedBytes, rec.DroppedSegments)
+			}
+			fmt.Println(")")
+		}
+	} else if *dataDir != "" {
+		log.Fatalf("osars-serve: -data-dir requires the stateful store (drop -stateless)")
 	}
 	if *pprofAddr != "" {
 		// A dedicated mux on a dedicated listener: the profiling
@@ -120,9 +166,38 @@ func main() {
 	mode := fmt.Sprintf("stateful, cache %d entries / %d MiB", *cacheEntries, *cacheBytes>>20)
 	if *stateless {
 		mode = "stateless"
+	} else if *dataDir != "" {
+		mode += fmt.Sprintf(", durable in %s (fsync=%s)", *dataDir, fsync)
 	}
 	fmt.Printf("osars-serve: listening on %s with %v (ε=%.2f, %s)\n", *addr, ont, *eps, mode)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("osars-serve: %v", err)
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// drain in-flight requests under a deadline, then flush + fsync
+	// the WAL and write a final snapshot. A second signal aborts
+	// immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("osars-serve: %v", err)
+		}
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills us
+		fmt.Printf("osars-serve: shutting down (deadline %v)\n", *shutdownWait)
+		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownWait)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("osars-serve: drain: %v (closing anyway)", err)
+			srv.Close()
+		}
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Fatalf("osars-serve: close store: %v", err)
+		}
+		fmt.Println("osars-serve: store flushed and snapshotted; bye")
 	}
 }

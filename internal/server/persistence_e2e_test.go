@@ -1,0 +1,136 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"osars"
+	"osars/internal/dataset"
+)
+
+// durableServer builds a store-backed server rooted at dir (the
+// handler a `osars-serve -data-dir dir` process would run).
+func durableServer(t *testing.T, dir string) (*Server, *osars.Store) {
+	t.Helper()
+	sum, err := osars.New(osars.Config{Ontology: dataset.CellPhoneOntology()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sum.OpenStore(osars.StoreOptions{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWithStore(sum, st), st
+}
+
+// itemsBody extracts the deterministic part of a GET /v1/items reply:
+// the item list, re-marshalled (store counters such as cache hits are
+// legitimately reset by a restart and are excluded).
+func itemsBody(t *testing.T, srv *Server) string {
+	t.Helper()
+	w := do(t, srv, http.MethodGet, "/v1/items", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("list status %d: %s", w.Code, w.Body.String())
+	}
+	var resp ListItemsResponse
+	decode(t, w, &resp)
+	data, err := json.Marshal(resp.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// summaryBody extracts the deterministic part of a GET summary reply:
+// everything except the wall-clock ElapsedMS and the Cached flag
+// (a restarted server starts with a cold cache by design).
+func summaryBody(t *testing.T, srv *Server, path string) string {
+	t.Helper()
+	w := do(t, srv, http.MethodGet, path, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("summary %s status %d: %s", path, w.Code, w.Body.String())
+	}
+	var resp ItemSummaryResponse
+	decode(t, w, &resp)
+	resp.ElapsedMS = 0
+	resp.Cached = false
+	data, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestServerRestartByteIdentical is the end-to-end restart acceptance
+// test: ingest reviews over HTTP, hard-stop the server (without a
+// graceful close), restart against the same data directory, and every
+// item listing and summary must come back byte-identical.
+func TestServerRestartByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	srv1, _ := durableServer(t, dir)
+
+	for _, req := range []struct {
+		id   string
+		body AppendReviewsRequest
+	}{
+		{"p1", AppendReviewsRequest{ItemName: "Acme Phone", Reviews: []RawReview{
+			{ID: "r1", Text: "The screen is excellent. The battery is awful.", Rating: 0.2},
+			{ID: "r2", Text: "Amazing screen resolution! The battery life is terrible."},
+		}}},
+		{"p1", AppendReviewsRequest{Reviews: []RawReview{
+			{ID: "r3", Text: "Great camera and a decent price.", Rating: 0.8},
+		}}},
+		{"p2", AppendReviewsRequest{ItemName: "Bolt", Reviews: []RawReview{
+			{ID: "r4", Text: "The speaker is too quiet but the design is gorgeous.", Rating: 0.4},
+		}}},
+		{"gone", AppendReviewsRequest{ItemName: "Doomed", Reviews: []RawReview{
+			{ID: "r5", Text: "The price is outrageous."},
+		}}},
+	} {
+		if w := do(t, srv1, http.MethodPut, "/v1/items/"+req.id+"/reviews", req.body); w.Code != http.StatusOK {
+			t.Fatalf("append %s: %d %s", req.id, w.Code, w.Body.String())
+		}
+	}
+	// Summarize (warms the cache) and then delete one item: the
+	// restarted server must not resurrect it.
+	if w := do(t, srv1, http.MethodGet, "/v1/items/gone/summary?k=1", nil); w.Code != http.StatusOK {
+		t.Fatalf("summary gone: %d", w.Code)
+	}
+	if w := do(t, srv1, http.MethodDelete, "/v1/items/gone", nil); w.Code != http.StatusOK {
+		t.Fatalf("delete gone: %d %s", w.Code, w.Body.String())
+	}
+
+	paths := []string{
+		"/v1/items/p1/summary?k=3",
+		"/v1/items/p1/summary?k=2&granularity=pairs",
+		"/v1/items/p2/summary?k=1&granularity=reviews",
+	}
+	wantItems := itemsBody(t, srv1)
+	wantSums := make([]string, len(paths))
+	for i, p := range paths {
+		wantSums[i] = summaryBody(t, srv1, p)
+	}
+	// Hard stop: the first server's store is simply abandoned —
+	// FsyncAlways already put every acknowledged write on disk.
+
+	srv2, st2 := durableServer(t, dir)
+	defer st2.Close()
+	if rec, ok := st2.Recovery(); !ok || rec.ReplayedRecords == 0 {
+		t.Fatalf("restarted store recovery = %+v ok=%v", rec, ok)
+	}
+	if got := itemsBody(t, srv2); got != wantItems {
+		t.Fatalf("GET /v1/items diverged after restart:\npre:  %s\npost: %s", wantItems, got)
+	}
+	for i, p := range paths {
+		if got := summaryBody(t, srv2, p); got != wantSums[i] {
+			t.Fatalf("GET %s diverged after restart:\npre:  %s\npost: %s", p, wantSums[i], got)
+		}
+	}
+	if w := do(t, srv2, http.MethodGet, "/v1/items/gone", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("deleted item resurrected after restart: %d %s", w.Code, w.Body.String())
+	}
+	if w := do(t, srv2, http.MethodGet, "/v1/items/gone/summary?k=1", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("summary of deleted item after restart: %d %s", w.Code, w.Body.String())
+	}
+}

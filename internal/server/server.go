@@ -351,7 +351,12 @@ func (s *Server) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
-	if !s.store.Delete(id) {
+	deleted, err := s.store.Delete(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !deleted {
 		writeError(w, http.StatusNotFound, osars.ErrItemNotFound.Error())
 		return
 	}

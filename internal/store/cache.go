@@ -119,6 +119,23 @@ func (c *lruCache) Bytes() int64 {
 	return c.bytes
 }
 
+// itemEntries counts the cached summaries of one item (test helper
+// for the delete-purges-cache invariant).
+func (c *lruCache) itemEntries(id string) int {
+	if c.maxEntries <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key := range c.m {
+		if key.id == id {
+			n++
+		}
+	}
+	return n
+}
+
 func (c *lruCache) Evictions() uint64 {
 	if c.maxEntries <= 0 {
 		return 0

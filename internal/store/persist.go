@@ -1,0 +1,510 @@
+// Durability subsystem of the store: every state-changing operation
+// (append, delete) is serialized to a segmented CRC32C write-ahead log
+// before it is acknowledged, periodic snapshots serialize a consistent
+// copy-on-write view of the corpus, and a compaction step retires WAL
+// segments fully covered by the latest snapshot. Recovery is
+// latest-snapshot-then-replay: New loads the newest readable snapshot
+// and replays the WAL suffix through the exact same code path live
+// ingestion uses, so a recovered store is byte-identical to the
+// pre-crash store for every acknowledged write (including item
+// generations and timestamps, which are logged, not re-minted).
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"osars/internal/extract"
+	"osars/internal/model"
+	"osars/internal/wal"
+)
+
+// FsyncPolicy selects when WAL appends are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs before every append acknowledgment: an
+	// acknowledged write survives power loss. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background timer (Config.FsyncInterval):
+	// a crash can lose at most the last interval's acknowledged writes,
+	// but ingestion throughput is close to FsyncNever.
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS page cache: writes survive a
+	// process crash (the data is in the kernel) but not power loss.
+	FsyncNever
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy parses "always", "interval" or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// DefaultSnapshotEvery is the automatic snapshot cadence (logged
+// records between snapshots) when Config.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 4096
+
+// Defaults for the durability knobs.
+const (
+	DefaultFsyncInterval = 100 * time.Millisecond
+	snapshotsToKeep      = 2 // newest + one fallback generation
+)
+
+// WAL record operations.
+const (
+	opAppend = "append"
+	opDelete = "delete"
+)
+
+// walReview is one raw review inside a logged append. The RAW text is
+// logged (not the annotation): replay re-runs the deterministic
+// extraction pipeline, which keeps records small and lets a future
+// pipeline version re-annotate history.
+type walReview struct {
+	ID     string  `json:"id,omitempty"`
+	Text   string  `json:"text,omitempty"`
+	Rating float64 `json:"rating,omitempty"`
+}
+
+// walRecord is the JSON payload of one WAL record.
+type walRecord struct {
+	Op      string      `json:"op"`
+	ID      string      `json:"id"`
+	Name    string      `json:"name,omitempty"`
+	TS      time.Time   `json:"ts"`
+	Reviews []walReview `json:"reviews,omitempty"`
+}
+
+// snapItem is one item inside a snapshot: the annotated corpus plus
+// the entry bookkeeping (generation, counters, timestamps).
+type snapItem struct {
+	ID           string      `json:"id"`
+	Gen          uint64      `json:"gen"`
+	NumSentences int         `json:"num_sentences"`
+	NumPairs     int         `json:"num_pairs"`
+	CreatedAt    time.Time   `json:"created_at"`
+	UpdatedAt    time.Time   `json:"updated_at"`
+	Item         *model.Item `json:"item"`
+}
+
+// snapFile is the JSON payload of one snapshot.
+type snapFile struct {
+	Schema  string     `json:"schema"`
+	LastSeq uint64     `json:"last_seq"`
+	NextGen uint64     `json:"next_gen"`
+	Appends uint64     `json:"appends"`
+	Items   []snapItem `json:"items"`
+}
+
+const snapSchema = "osars-store-snapshot/v1"
+
+// RecoveryStats reports what New had to do to restore a durable store.
+type RecoveryStats struct {
+	// SnapshotSeq is the WAL sequence the loaded snapshot covered
+	// (0 when no snapshot existed).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// SnapshotItems is the number of items restored from the snapshot.
+	SnapshotItems int `json:"snapshot_items"`
+	// ReplayedRecords is the number of WAL records applied after the
+	// snapshot.
+	ReplayedRecords int `json:"replayed_records"`
+	// TruncatedBytes counts bytes cut from a torn or corrupt WAL tail.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// DroppedSegments counts WAL segment files dropped after a corrupt
+	// record.
+	DroppedSegments int `json:"dropped_segments"`
+	// LastSeq is the newest surviving WAL sequence number.
+	LastSeq uint64 `json:"last_seq"`
+	// Items is the item count after recovery.
+	Items int `json:"items"`
+	// Duration is how long recovery took.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// persister owns the store's durability state: the WAL, the snapshot
+// cadence and the background fsync/snapshot goroutine.
+type persister struct {
+	s   *Store
+	log *wal.Log
+	dir string
+
+	policy        FsyncPolicy
+	interval      time.Duration
+	snapshotEvery int
+
+	// appliedSeq, sinceSnap and lastSnapSeq are guarded by s.mu (they
+	// are only written inside the store's critical sections).
+	appliedSeq  uint64
+	sinceSnap   int
+	lastSnapSeq uint64
+
+	// snapMu serializes snapshot writes (timer-triggered vs Close).
+	snapMu sync.Mutex
+
+	snapCh  chan struct{}
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	snapshotsWritten atomic.Uint64
+	recovery         RecoveryStats
+	// bgErr records the most recent background fsync/snapshot failure.
+	bgErr atomic.Value // error
+}
+
+// openPersistence restores state from cfg.DataDir into s and arms the
+// durability subsystem. Called by New with a fully constructed
+// (empty) store.
+func openPersistence(s *Store, cfg Config) error {
+	start := time.Now()
+	if cfg.Fsync < FsyncAlways || cfg.Fsync > FsyncNever {
+		return fmt.Errorf("store: invalid fsync policy %d", cfg.Fsync)
+	}
+	if cfg.FsyncInterval <= 0 {
+		cfg.FsyncInterval = DefaultFsyncInterval
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+
+	p := &persister{
+		s:             s,
+		dir:           cfg.DataDir,
+		policy:        cfg.Fsync,
+		interval:      cfg.FsyncInterval,
+		snapshotEvery: cfg.SnapshotEvery,
+		snapCh:        make(chan struct{}, 1),
+		closeCh:       make(chan struct{}),
+	}
+
+	// 1. Latest readable snapshot (corrupt ones are skipped
+	// newest-first inside LoadLatestSnapshot).
+	payload, snapSeq, ok, err := wal.LoadLatestSnapshot(cfg.DataDir)
+	if err != nil {
+		return fmt.Errorf("store: load snapshot: %w", err)
+	}
+	if ok {
+		var snap snapFile
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			return fmt.Errorf("store: decode snapshot: %w", err)
+		}
+		if snap.Schema != snapSchema {
+			return fmt.Errorf("store: unknown snapshot schema %q", snap.Schema)
+		}
+		for i := range snap.Items {
+			it := &snap.Items[i]
+			s.items[it.ID] = &entry{
+				item:         it.Item,
+				gen:          it.Gen,
+				numSentences: it.NumSentences,
+				numPairs:     it.NumPairs,
+				createdAt:    it.CreatedAt,
+				updatedAt:    it.UpdatedAt,
+			}
+		}
+		s.nextGen = snap.NextGen
+		s.appends.Store(snap.Appends)
+		p.recovery.SnapshotSeq = snapSeq
+		p.recovery.SnapshotItems = len(snap.Items)
+	}
+
+	// 2. Open the WAL (torn-tail truncation happens here).
+	log, info, err := wal.Open(cfg.DataDir, wal.Options{SegmentBytes: cfg.SegmentBytes})
+	if err != nil {
+		return fmt.Errorf("store: open wal: %w", err)
+	}
+	p.log = log
+	p.recovery.TruncatedBytes = info.TruncatedBytes
+	p.recovery.DroppedSegments = info.DroppedSegments
+	// If the snapshot is ahead of the log (the WAL was lost or
+	// compacted past its end), fast-forward so fresh appends can never
+	// mint sequence numbers the snapshot already covers.
+	if log.NextSeq() <= snapSeq {
+		if err := log.SkipTo(snapSeq + 1); err != nil {
+			log.Close()
+			return fmt.Errorf("store: wal skip-to: %w", err)
+		}
+	}
+
+	// 3. Replay the suffix through the live ingest path (minus
+	// logging — s.persist is still nil here, so nothing re-logs):
+	// annotation is deterministic and timestamps come from the
+	// record, so the rebuilt state matches the pre-crash store byte
+	// for byte.
+	replayed := 0
+	err = log.Replay(snapSeq, func(seq uint64, payload []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("record %d: %w", seq, err)
+		}
+		s.applyWalRecord(&rec)
+		replayed++
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return fmt.Errorf("store: wal replay: %w", err)
+	}
+
+	p.appliedSeq = log.NextSeq() - 1
+	p.lastSnapSeq = snapSeq
+	p.sinceSnap = replayed
+	p.recovery.ReplayedRecords = replayed
+	p.recovery.LastSeq = p.appliedSeq
+	p.recovery.Items = len(s.items)
+	p.recovery.Duration = time.Since(start)
+	s.persist = p
+
+	p.wg.Add(1)
+	go p.run()
+	return nil
+}
+
+// applyWalRecord applies one replayed record. Deletes need no cache
+// work at boot (the cache starts empty), but the shared Delete path is
+// not used because replay must not re-log.
+func (s *Store) applyWalRecord(rec *walRecord) {
+	switch rec.Op {
+	case opAppend:
+		raws := make([]extract.RawReview, len(rec.Reviews))
+		for i, r := range rec.Reviews {
+			raws[i] = extract.RawReview{ID: r.ID, Text: r.Text, Rating: r.Rating}
+		}
+		annotated := s.pipeline.AnnotateReviews(raws, 0)
+		s.mu.Lock()
+		s.applyAppendLocked(rec.ID, rec.Name, annotated, rec.TS)
+		s.mu.Unlock()
+		s.appends.Add(1)
+	case opDelete:
+		s.mu.Lock()
+		delete(s.items, rec.ID)
+		s.cache.PurgeItem(rec.ID)
+		s.mu.Unlock()
+	}
+}
+
+// logAppend writes an append record. Caller holds s.mu.
+func (p *persister) logAppend(id, name string, ts time.Time, reviews []extract.RawReview) error {
+	rec := walRecord{Op: opAppend, ID: id, Name: name, TS: ts}
+	if len(reviews) > 0 {
+		rec.Reviews = make([]walReview, len(reviews))
+		for i, r := range reviews {
+			rec.Reviews[i] = walReview{ID: r.ID, Text: r.Text, Rating: r.Rating}
+		}
+	}
+	return p.logRecord(&rec)
+}
+
+// logDelete writes a delete record. Caller holds s.mu.
+func (p *persister) logDelete(id string, ts time.Time) error {
+	return p.logRecord(&walRecord{Op: opDelete, ID: id, TS: ts})
+}
+
+// logRecord appends one record to the WAL and, under FsyncAlways,
+// forces it to stable storage before returning. Caller holds s.mu, so
+// sequence order equals apply order.
+func (p *persister) logRecord(rec *walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	seq, err := p.log.Append(payload)
+	if err != nil {
+		return err
+	}
+	if p.policy == FsyncAlways {
+		if err := p.log.Sync(); err != nil {
+			return err
+		}
+	}
+	p.appliedSeq = seq
+	p.sinceSnap++
+	if p.snapshotEvery > 0 && p.sinceSnap >= p.snapshotEvery {
+		p.sinceSnap = 0
+		select {
+		case p.snapCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// run is the background goroutine: interval fsync and triggered
+// snapshots.
+func (p *persister) run() {
+	defer p.wg.Done()
+	var tick <-chan time.Time
+	if p.policy == FsyncInterval {
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-p.closeCh:
+			return
+		case <-tick:
+			if err := p.log.Sync(); err != nil {
+				p.bgErr.Store(err)
+			}
+		case <-p.snapCh:
+			if err := p.snapshot(); err != nil {
+				p.bgErr.Store(err)
+			}
+		}
+	}
+}
+
+// snapshot serializes a consistent copy-on-write view of the store,
+// writes it atomically, and compacts the WAL past it. Item values are
+// immutable (AppendReviews publishes fresh *model.Item values), so the
+// lock is held only long enough to copy pointers and counters — the
+// expensive JSON encode runs concurrently with live traffic.
+func (p *persister) snapshot() error {
+	p.snapMu.Lock()
+	defer p.snapMu.Unlock()
+	s := p.s
+
+	s.mu.RLock()
+	seq := p.appliedSeq
+	if seq == p.lastSnapSeq {
+		s.mu.RUnlock()
+		return nil // nothing new since the last snapshot
+	}
+	snap := snapFile{
+		Schema:  snapSchema,
+		LastSeq: seq,
+		NextGen: s.nextGen,
+		Appends: s.appends.Load(),
+		Items:   make([]snapItem, 0, len(s.items)),
+	}
+	for id, e := range s.items {
+		snap.Items = append(snap.Items, snapItem{
+			ID:           id,
+			Gen:          e.gen,
+			NumSentences: e.numSentences,
+			NumPairs:     e.numPairs,
+			CreatedAt:    e.createdAt,
+			UpdatedAt:    e.updatedAt,
+			Item:         e.item,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(snap.Items, func(i, j int) bool { return snap.Items[i].ID < snap.Items[j].ID })
+
+	payload, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	if _, err := wal.WriteSnapshot(p.dir, seq, payload); err != nil {
+		return err
+	}
+	// Rotate so every record ≤ seq lives in a closed segment, then
+	// retire the segments the snapshot fully covers and prune old
+	// snapshot generations.
+	if err := p.log.Rotate(); err != nil {
+		return err
+	}
+	if _, err := p.log.RemoveObsolete(seq); err != nil {
+		return err
+	}
+	if _, err := wal.PruneSnapshots(p.dir, snapshotsToKeep); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	p.lastSnapSeq = seq
+	s.mu.Unlock()
+	p.snapshotsWritten.Add(1)
+	return nil
+}
+
+// Snapshot forces a snapshot + WAL compaction now (outside the
+// automatic cadence). Safe to call concurrently with traffic.
+func (s *Store) Snapshot() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.snapshot()
+}
+
+// Sync forces everything logged so far to stable storage, regardless
+// of the fsync policy.
+func (s *Store) Sync() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.log.Sync()
+}
+
+// Recovery returns what New restored from disk; ok is false for
+// in-memory stores.
+func (s *Store) Recovery() (RecoveryStats, bool) {
+	if s.persist == nil {
+		return RecoveryStats{}, false
+	}
+	return s.persist.recovery, true
+}
+
+// PersistErr returns the most recent background fsync/snapshot
+// failure, if any. Foreground failures surface on AppendReviews and
+// Delete directly.
+func (s *Store) PersistErr() error {
+	if s.persist == nil {
+		return nil
+	}
+	if err, ok := s.persist.bgErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Close flushes the WAL, writes a final snapshot (if anything changed
+// since the last one) and releases the log. The store must not be
+// used afterwards; Close on an in-memory store is a no-op. Safe to
+// call more than once.
+func (s *Store) Close() error {
+	p := s.persist
+	if p == nil || !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(p.closeCh)
+	p.wg.Wait()
+	var firstErr error
+	if err := p.snapshot(); err != nil {
+		firstErr = err
+	}
+	if err := p.log.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := p.log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

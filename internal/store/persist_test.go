@@ -1,0 +1,461 @@
+package store
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"osars/internal/extract"
+	"osars/internal/model"
+)
+
+// durableConfig returns a durable test config rooted at dir.
+func durableConfig(dir string) Config {
+	cfg := testConfig()
+	cfg.DataDir = dir
+	return cfg
+}
+
+func openDurable(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// marshal renders v as JSON for byte-identical comparisons.
+func marshal(t *testing.T, v interface{}) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// observe captures every externally visible, deterministic read of a
+// store: the item list and one solved summary per item.
+func observe(t *testing.T, s *Store) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(marshal(t, s.List()))
+	for _, it := range s.List() {
+		sum, _, err := s.Summary(it.ID, 3, model.GranularitySentences, MethodGreedy)
+		if err != nil {
+			t.Fatalf("summary %s: %v", it.ID, err)
+		}
+		sb.WriteString(marshal(t, sum))
+	}
+	return sb.String()
+}
+
+// TestDurableRestartRoundTrip is the core invariant: close a durable
+// store, reopen it from the same directory, and every acknowledged
+// write — items, generations, timestamps, summaries — reads back byte
+// for byte.
+func TestDurableRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, durableConfig(dir))
+	if _, err := s.AppendReviews("p1", "Acme", phoneReviews[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendReviews("p1", "", phoneReviews[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendReviews("p2", "Bolt", phoneReviews[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendReviews("p3", "Gone", phoneReviews[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendReviews("p2", "Bolt v2", nil); err != nil { // rename only
+		t.Fatal(err)
+	}
+	if deleted, err := s.Delete("p3"); !deleted || err != nil {
+		t.Fatalf("delete = (%v, %v)", deleted, err)
+	}
+	before := observe(t, s)
+	beforeStats := s.Stats()
+	var maxGenBefore uint64
+	for _, it := range s.List() {
+		if it.Generation > maxGenBefore {
+			maxGenBefore = it.Generation
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openDurable(t, durableConfig(dir))
+	defer s2.Close()
+	after := observe(t, s2)
+	if before != after {
+		t.Fatalf("restart changed observable state:\nbefore: %s\nafter:  %s", before, after)
+	}
+	rec, ok := s2.Recovery()
+	if !ok {
+		t.Fatal("durable store reports no recovery stats")
+	}
+	// Close wrote a final snapshot, so reopening should restore from
+	// it with nothing left to replay.
+	if rec.SnapshotSeq == 0 || rec.ReplayedRecords != 0 {
+		t.Fatalf("recovery = %+v, want snapshot restore with 0 replayed", rec)
+	}
+	if got := s2.Stats().Appends; got != beforeStats.Appends {
+		t.Fatalf("appends counter after restart = %d, want %d", got, beforeStats.Appends)
+	}
+	// And the store stays writable: generations are minted from the
+	// restored store-global counter, so they must keep increasing —
+	// even past generations that belonged to deleted items.
+	st, err := s2.AppendReviews("p1", "", phoneReviews[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation <= maxGenBefore {
+		t.Fatalf("post-restart generation %d did not advance past %d", st.Generation, maxGenBefore)
+	}
+}
+
+// TestDurableCrashWithoutClose abandons the store (no Close, no final
+// snapshot) and recovers purely from the WAL.
+func TestDurableCrashWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, durableConfig(dir))
+	if _, err := s.AppendReviews("p1", "Acme", phoneReviews); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendReviews("p2", "Bolt", phoneReviews[:2]); err != nil {
+		t.Fatal(err)
+	}
+	before := observe(t, s)
+	// Hard stop: no Close, no snapshot. FsyncAlways means every
+	// acknowledged append is already on stable storage.
+
+	s2 := openDurable(t, durableConfig(dir))
+	defer s2.Close()
+	if after := observe(t, s2); after != before {
+		t.Fatalf("crash recovery changed observable state:\nbefore: %s\nafter:  %s", before, after)
+	}
+	rec, _ := s2.Recovery()
+	if rec.SnapshotSeq != 0 || rec.ReplayedRecords != 2 {
+		t.Fatalf("recovery = %+v, want pure replay of 2 records", rec)
+	}
+}
+
+// TestTornTailRecovery is the kill-at-random-offset crash test at the
+// store level: acknowledge N appends, truncate the WAL at arbitrary
+// byte offsets, recover, and verify the store state is exactly the
+// clean prefix of acknowledged appends — no partial item states.
+func TestTornTailRecovery(t *testing.T) {
+	master := t.TempDir()
+	s := openDurable(t, durableConfig(master))
+	const n = 8
+	// expected[k] = observable state after the first k appends.
+	expected := make([]string, n+1)
+	ids := []string{"a", "b", "c"}
+	for i := 0; i < n; i++ {
+		id := ids[i%len(ids)]
+		if _, err := s.AppendReviews(id, "Item "+id, []extract.RawReview{{
+			ID:     "r" + string(rune('0'+i)),
+			Text:   phoneReviews[i%len(phoneReviews)].Text,
+			Rating: phoneReviews[i%len(phoneReviews)].Rating,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		expected[i+1] = observe(t, s)
+	}
+	// No Close: simulate a hard stop with the WAL as-is.
+
+	segs, err := filepath.Glob(filepath.Join(master, "*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v (err %v)", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	segName := filepath.Base(segs[0])
+
+	rng := rand.New(rand.NewSource(42))
+	cuts := []int64{0, 1, int64(len(data)) - 1, int64(len(data))}
+	for i := 0; i < 40; i++ {
+		cuts = append(cuts, rng.Int63n(int64(len(data))+1))
+	}
+	for _, cut := range cuts {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2 := openDurable(t, durableConfig(dir))
+		rec, _ := s2.Recovery()
+		k := rec.ReplayedRecords
+		if k > n {
+			t.Fatalf("cut=%d: replayed %d > %d appends", cut, k, n)
+		}
+		got := ""
+		if k > 0 {
+			got = observe(t, s2)
+		} else if len(s2.List()) != 0 {
+			t.Fatalf("cut=%d: empty prefix but %d items", cut, len(s2.List()))
+		}
+		if k > 0 && got != expected[k] {
+			t.Fatalf("cut=%d: recovered state is not the clean %d-append prefix:\ngot:  %s\nwant: %s",
+				cut, k, got, expected[k])
+		}
+		// The recovered store must remain writable (the log resumes at
+		// the truncation point).
+		if _, err := s2.AppendReviews("resume", "", phoneReviews[:1]); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		s2.Close()
+	}
+}
+
+// TestSnapshotCompactionAndRecovery drives the automatic snapshot
+// cadence, verifies WAL segments are retired, and recovers from
+// snapshot + replay.
+func TestSnapshotCompactionAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.SnapshotEvery = 5
+	cfg.SegmentBytes = 512 // force frequent rotation
+	s := openDurable(t, cfg)
+	const n = 23
+	for i := 0; i < n; i++ {
+		id := "item" + string(rune('A'+i%4))
+		if _, err := s.AppendReviews(id, "", phoneReviews[i%len(phoneReviews):][:1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The snapshot loop is asynchronous; wait for at least one.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().SnapshotsWritten == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Stats().SnapshotsWritten == 0 {
+		t.Fatal("no automatic snapshot after 23 appends with SnapshotEvery=5")
+	}
+	if err := s.PersistErr(); err != nil {
+		t.Fatalf("background persistence error: %v", err)
+	}
+	before := observe(t, s)
+	if err := s.Close(); err != nil { // final snapshot + retire remaining segments
+		t.Fatal(err)
+	}
+
+	// Compaction must actually delete files: with 23 tiny appends and
+	// 512-byte segments there were many rotations, but everything
+	// before the final snapshot is retirable.
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if len(segs) > 2 {
+		t.Fatalf("compaction left %d WAL segments: %v", len(segs), segs)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if len(snaps) == 0 || len(snaps) > 2 {
+		t.Fatalf("snapshot pruning kept %d snapshots: %v", len(snaps), snaps)
+	}
+
+	s2 := openDurable(t, cfg)
+	defer s2.Close()
+	if after := observe(t, s2); after != before {
+		t.Fatalf("snapshot recovery changed observable state:\nbefore: %s\nafter:  %s", before, after)
+	}
+	rec, _ := s2.Recovery()
+	if rec.SnapshotSeq == 0 || rec.SnapshotItems == 0 {
+		t.Fatalf("recovery did not use the snapshot: %+v", rec)
+	}
+}
+
+// TestSnapshotSurvivesWALLoss: if the WAL directory loses its segment
+// files entirely, the snapshot still restores, and new appends mint
+// sequence numbers beyond the snapshot (never colliding with it).
+func TestSnapshotSurvivesWALLoss(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, durableConfig(dir))
+	if _, err := s.AppendReviews("p1", "Acme", phoneReviews); err != nil {
+		t.Fatal(err)
+	}
+	before := observe(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	for _, seg := range segs {
+		if err := os.Remove(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := openDurable(t, durableConfig(dir))
+	if after := observe(t, s2); after != before {
+		t.Fatalf("snapshot-only recovery changed state:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if _, err := s2.AppendReviews("p2", "New", phoneReviews[:1]); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip := observe(t, s2)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := openDurable(t, durableConfig(dir))
+	defer s3.Close()
+	if got := observe(t, s3); got != roundTrip {
+		t.Fatalf("post-WAL-loss appends did not survive:\ngot:  %s\nwant: %s", got, roundTrip)
+	}
+}
+
+// TestFsyncPolicies exercises the interval and never policies
+// end-to-end (a process-internal "crash" keeps OS-buffered writes, so
+// all three policies recover fully here).
+func TestFsyncPolicies(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := durableConfig(dir)
+			cfg.Fsync = policy
+			cfg.FsyncInterval = 10 * time.Millisecond
+			s := openDurable(t, cfg)
+			if _, err := s.AppendReviews("p1", "Acme", phoneReviews); err != nil {
+				t.Fatal(err)
+			}
+			before := observe(t, s)
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2 := openDurable(t, cfg)
+			defer s2.Close()
+			if after := observe(t, s2); after != before {
+				t.Fatalf("policy %v: restart changed state", policy)
+			}
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "interval": FsyncInterval, "never": FsyncNever, "": FsyncAlways,
+	} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseFsyncPolicy accepted garbage")
+	}
+}
+
+// TestInMemoryStoreUnchanged pins that the zero-config store has no
+// durability side effects and ignores Close/Sync/Snapshot.
+func TestInMemoryStoreUnchanged(t *testing.T) {
+	s := testStore(t)
+	if _, err := s.AppendReviews("p1", "", phoneReviews); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Recovery(); ok {
+		t.Fatal("in-memory store reports recovery stats")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Durable || st.WALLastSeq != 0 {
+		t.Fatalf("in-memory stats claim durability: %+v", st)
+	}
+}
+
+// TestDeleteInvalidatesCacheInCriticalSection is the regression test
+// for the delete/cache race: a summary solve that is in flight while
+// its item is deleted must never leave a cache entry behind.
+func TestDeleteInvalidatesCacheInCriticalSection(t *testing.T) {
+	s := testStore(t)
+	if _, err := s.AppendReviews("p1", "Acme", phoneReviews); err != nil {
+		t.Fatal(err)
+	}
+	// The hook runs after the solve but before the result is cached —
+	// exactly the window in which the old code could resurrect a
+	// summary for a deleted item.
+	s.testSolveHook = func(id string) {
+		if deleted, err := s.Delete(id); !deleted || err != nil {
+			t.Errorf("mid-flight delete = (%v, %v)", deleted, err)
+		}
+	}
+	if _, _, err := s.Summary("p1", 2, model.GranularitySentences, MethodGreedy); err != nil {
+		t.Fatal(err)
+	}
+	s.testSolveHook = nil
+	if n := s.cache.itemEntries("p1"); n != 0 {
+		t.Fatalf("deleted item left %d summaries in the cache", n)
+	}
+	if _, _, err := s.Summary("p1", 2, model.GranularitySentences, MethodGreedy); err != ErrNotFound {
+		t.Fatalf("summary of deleted item = %v, want ErrNotFound", err)
+	}
+}
+
+// TestDurableDeleteNeverServedAfterRecovery: ingest, summarize,
+// delete, crash-recover — the recovered store must 404 the deleted
+// item and hold no trace of it.
+func TestDurableDeleteNeverServedAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, durableConfig(dir))
+	if _, err := s.AppendReviews("doomed", "Acme", phoneReviews); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Summary("doomed", 2, model.GranularitySentences, MethodGreedy); err != nil {
+		t.Fatal(err)
+	}
+	if deleted, err := s.Delete("doomed"); !deleted || err != nil {
+		t.Fatalf("delete = (%v, %v)", deleted, err)
+	}
+	// Hard stop (no Close): recovery must replay the delete too.
+	s2 := openDurable(t, durableConfig(dir))
+	defer s2.Close()
+	if _, _, err := s2.Summary("doomed", 2, model.GranularitySentences, MethodGreedy); err != ErrNotFound {
+		t.Fatalf("recovered store served a deleted item: err = %v", err)
+	}
+	if n := s2.cache.itemEntries("doomed"); n != 0 {
+		t.Fatalf("recovered cache holds %d entries for a deleted item", n)
+	}
+	if got := s2.List(); len(got) != 0 {
+		t.Fatalf("recovered items = %v", got)
+	}
+}
+
+// TestWalRecordRoundTrip pins the WAL record JSON: ratings and
+// timestamps must survive encode/decode exactly, or replayed state
+// would drift from the acknowledged state.
+func TestWalRecordRoundTrip(t *testing.T) {
+	in := walRecord{
+		Op:   opAppend,
+		ID:   "p1",
+		Name: "Acme",
+		TS:   time.Date(2026, 8, 6, 12, 34, 56, 789012345, time.UTC),
+		Reviews: []walReview{
+			{ID: "r1", Text: "The screen is excellent.", Rating: 0.30000000000000004},
+			{ID: "r2", Text: "unicode é ✓", Rating: -1},
+		},
+	}
+	data, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out walRecord
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("wal record round trip:\nin:  %+v\nout: %+v", in, out)
+	}
+}

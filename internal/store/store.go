@@ -85,6 +85,27 @@ type Config struct {
 	// MaxCacheBytes bounds the cache's approximate resident bytes
 	// (default DefaultMaxCacheBytes; negative means entries-only).
 	MaxCacheBytes int64
+
+	// DataDir enables durable persistence: ingestion is written to a
+	// segmented write-ahead log in this directory before it is
+	// acknowledged, periodic snapshots bound recovery time, and New
+	// restores latest-snapshot-then-replay on boot. Empty means
+	// in-memory only (the pre-durability behavior).
+	DataDir string
+	// Fsync selects when the WAL is forced to stable storage
+	// (default FsyncAlways). Ignored without DataDir.
+	Fsync FsyncPolicy
+	// FsyncInterval is the flush period under FsyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery writes a snapshot (and compacts the WAL) after
+	// this many logged records (default DefaultSnapshotEvery;
+	// negative disables automatic snapshots — they still happen on
+	// Close and via Snapshot).
+	SnapshotEvery int
+	// SegmentBytes is the WAL segment rotation threshold
+	// (default wal.DefaultSegmentBytes).
+	SegmentBytes int64
 }
 
 // Store is the in-memory corpus. All methods are safe for concurrent
@@ -101,10 +122,18 @@ type Store struct {
 	cache *lruCache
 	group flightGroup
 
+	// persist is the durability subsystem (nil for in-memory stores).
+	persist *persister
+
 	appends atomic.Uint64
 	solves  atomic.Uint64
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+
+	// testSolveHook, when set, runs after a summary solve completes
+	// but before the result is cached. Tests use it to interleave a
+	// Delete with an in-flight solve deterministically.
+	testSolveHook func(id string)
 }
 
 // entry is one item's state. The *model.Item is treated as immutable:
@@ -119,7 +148,10 @@ type entry struct {
 	updatedAt    time.Time
 }
 
-// New validates the config and builds an empty Store.
+// New validates the config and builds a Store. With Config.DataDir
+// set, it first recovers any previous state from disk (latest valid
+// snapshot, then WAL replay) and arms the durability subsystem; call
+// Close when done with a durable store.
 func New(cfg Config) (*Store, error) {
 	if cfg.Metric.Ont == nil {
 		return nil, errors.New("store: Config.Metric.Ont is required")
@@ -136,13 +168,19 @@ func New(cfg Config) (*Store, error) {
 	if cfg.MaxCacheBytes == 0 {
 		cfg.MaxCacheBytes = DefaultMaxCacheBytes
 	}
-	return &Store{
+	s := &Store{
 		metric:   cfg.Metric,
 		pipeline: cfg.Pipeline,
 		seed:     cfg.Seed,
 		items:    make(map[string]*entry),
 		cache:    newLRU(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
-	}, nil
+	}
+	if cfg.DataDir != "" {
+		if err := openPersistence(s, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // ItemStats is the externally visible state of one item.
@@ -177,6 +215,11 @@ func (e *entry) stats() ItemStats {
 // summaries of the old corpus. A non-empty name (re)names the item.
 // Appending zero reviews to an existing item is a no-op on the
 // generation unless it renames the item.
+//
+// On a durable store the raw reviews are appended to the write-ahead
+// log (and, under FsyncAlways, forced to stable storage) BEFORE the
+// in-memory state changes and the call returns — an acknowledged
+// append survives a crash.
 func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (ItemStats, error) {
 	if id == "" {
 		return ItemStats{}, errors.New("store: item id must be non-empty")
@@ -186,6 +229,34 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 	// across GOMAXPROCS workers (order-preserving, so the stored corpus
 	// is byte-identical to sequential ingestion).
 	annotated := s.pipeline.AnnotateReviews(reviews, 0)
+
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// State-changing? Appending nothing to an existing item without a
+	// rename is a no-op and must not reach the log.
+	if e, ok := s.items[id]; ok && len(annotated) == 0 && (name == "" || name == e.item.Name) {
+		return e.stats(), nil
+	}
+	if s.persist != nil {
+		// Log-before-ack: the WAL append (and its fsync under
+		// FsyncAlways) happens inside the same critical section that
+		// applies the change, so log order always equals apply order
+		// and a replayed log reconstructs the exact same state.
+		if err := s.persist.logAppend(id, name, now, reviews); err != nil {
+			return ItemStats{}, fmt.Errorf("store: wal append: %w", err)
+		}
+	}
+	stats := s.applyAppendLocked(id, name, annotated, now)
+	s.appends.Add(1)
+	return stats, nil
+}
+
+// applyAppendLocked merges annotated reviews into the item (creating
+// it if needed) under s.mu. It is shared by the live ingest path and
+// WAL replay; now is the logged wall-clock time so a recovered store
+// reproduces the original timestamps.
+func (s *Store) applyAppendLocked(id, name string, annotated []model.Review, now time.Time) ItemStats {
 	newSentences, newPairs := 0, 0
 	for i := range annotated {
 		newSentences += len(annotated[i].Sentences)
@@ -193,10 +264,6 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 			newPairs += len(annotated[i].Sentences[si].Pairs)
 		}
 	}
-
-	now := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, existed := s.items[id]
 	if !existed {
 		s.nextGen++
@@ -210,7 +277,7 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 	}
 	renamed := name != "" && name != e.item.Name
 	if existed && len(annotated) == 0 && !renamed {
-		return e.stats(), nil
+		return e.stats()
 	}
 	if existed || len(annotated) > 0 {
 		old := e.item
@@ -229,8 +296,7 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 		e.numPairs += newPairs
 		e.updatedAt = now
 	}
-	s.appends.Add(1)
-	return e.stats(), nil
+	return e.stats()
 }
 
 // Item returns the current annotated snapshot and generation of an
@@ -276,17 +342,29 @@ func (s *Store) Len() int {
 }
 
 // Delete removes an item and purges its cached summaries, reporting
-// whether it existed. A later re-creation under the same ID gets a
-// fresh generation, so stale cache entries can never resurface.
-func (s *Store) Delete(id string) bool {
+// whether it existed. The cache purge happens in the SAME critical
+// section as the map removal — there is no window in which the item is
+// gone but its summaries are still cached (and on a durable store the
+// delete is logged before it is applied, so a recovered store can
+// never serve a summary for a deleted item). A later re-creation under
+// the same ID gets a fresh generation, so stale cache entries can
+// never resurface either.
+func (s *Store) Delete(id string) (bool, error) {
+	now := time.Now()
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	_, ok := s.items[id]
-	delete(s.items, id)
-	s.mu.Unlock()
-	if ok {
-		s.cache.PurgeItem(id)
+	if !ok {
+		return false, nil
 	}
-	return ok
+	if s.persist != nil {
+		if err := s.persist.logDelete(id, now); err != nil {
+			return false, fmt.Errorf("store: wal delete: %w", err)
+		}
+	}
+	delete(s.items, id)
+	s.cache.PurgeItem(id)
+	return true, nil
 }
 
 // cacheKey identifies one solved summary: the item at an exact corpus
@@ -360,7 +438,21 @@ func (s *Store) Summary(id string, k int, g model.Granularity, m Method) (sum *S
 		}
 		sum, err := s.solve(item, gen, k, g, m)
 		if err == nil {
+			if s.testSolveHook != nil {
+				s.testSolveHook(id)
+			}
 			s.cache.Add(key, sum)
+			// The solve ran off a snapshot taken before any lock was
+			// released: if the item was deleted while we were solving,
+			// Delete's purge may have run before our Add. Re-check and
+			// purge so a deleted item never leaves summaries behind in
+			// the cache.
+			s.mu.RLock()
+			_, alive := s.items[id]
+			s.mu.RUnlock()
+			if !alive {
+				s.cache.PurgeItem(id)
+			}
 		}
 		return sum, err
 	})
@@ -432,12 +524,18 @@ type Stats struct {
 	CacheEntries   int    `json:"cache_entries"`
 	CacheBytes     int64  `json:"cache_bytes"`
 	CacheEvictions uint64 `json:"cache_evictions"`
+
+	// Durability counters (zero for in-memory stores).
+	Durable          bool   `json:"durable,omitempty"`
+	WALLastSeq       uint64 `json:"wal_last_seq,omitempty"`
+	WALSegments      int    `json:"wal_segments,omitempty"`
+	SnapshotsWritten uint64 `json:"snapshots_written,omitempty"`
 }
 
 // Stats returns the current counters. Because the counters are
 // independent atomics, the snapshot is approximate under concurrency.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Items:          s.Len(),
 		Appends:        s.appends.Load(),
 		Solves:         s.solves.Load(),
@@ -447,4 +545,11 @@ func (s *Store) Stats() Stats {
 		CacheBytes:     s.cache.Bytes(),
 		CacheEvictions: s.cache.Evictions(),
 	}
+	if p := s.persist; p != nil {
+		st.Durable = true
+		st.WALLastSeq = p.log.NextSeq() - 1
+		st.WALSegments = p.log.Segments()
+		st.SnapshotsWritten = p.snapshotsWritten.Load()
+	}
+	return st
 }

@@ -213,11 +213,11 @@ func TestDeletePurgesAndRecreates(t *testing.T) {
 	if s.Stats().CacheEntries != 1 {
 		t.Fatalf("stats = %+v", s.Stats())
 	}
-	if !s.Delete("p1") {
-		t.Fatal("Delete returned false for existing item")
+	if deleted, err := s.Delete("p1"); !deleted || err != nil {
+		t.Fatalf("Delete existing item = (%v, %v)", deleted, err)
 	}
-	if s.Delete("p1") {
-		t.Fatal("Delete returned true for missing item")
+	if deleted, err := s.Delete("p1"); deleted || err != nil {
+		t.Fatalf("Delete missing item = (%v, %v)", deleted, err)
 	}
 	if _, _, ok := s.Item("p1"); ok {
 		t.Fatal("item still present after delete")

@@ -1,0 +1,173 @@
+// Snapshot files: an atomic, checksummed container for a
+// point-in-time serialization of the store. A snapshot taken after
+// applying WAL record S is named %020d.snap with S in the name; on
+// recovery the newest readable snapshot is loaded and the WAL is
+// replayed from S+1. Snapshots are written to a temp file, fsynced and
+// renamed into place, so a crash mid-write can never damage an
+// existing snapshot — at worst it leaves an ignorable *.tmp file.
+//
+// On-disk format (integers little-endian):
+//
+//	offset  0: 8-byte magic "osarsnap"
+//	offset  8: uint32 format version (1)
+//	offset 12: uint32 CRC32C over the payload
+//	offset 16: uint64 payload length
+//	offset 24: payload bytes (opaque to this package; the store uses JSON)
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	snapshotSuffix  = ".snap"
+	snapshotMagic   = "osarsnap"
+	snapshotVersion = 1
+	snapshotHeader  = 24
+)
+
+// WriteSnapshot atomically writes a snapshot covering WAL records
+// ≤ seq into dir and returns its path.
+func WriteSnapshot(dir string, seq uint64, payload []byte) (string, error) {
+	final := filepath.Join(dir, fmt.Sprintf("%020d%s", seq, snapshotSuffix))
+	tmp, err := os.CreateTemp(dir, "snapshot-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	var hdr [snapshotHeader]byte
+	copy(hdr[0:8], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], snapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(payload)))
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	return final, syncDir(dir)
+}
+
+// ReadSnapshot loads and verifies one snapshot file.
+func ReadSnapshot(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < snapshotHeader || string(data[0:8]) != snapshotMagic {
+		return nil, fmt.Errorf("wal: %s: not a snapshot file", path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != snapshotVersion {
+		return nil, fmt.Errorf("wal: %s: unsupported snapshot version %d", path, v)
+	}
+	n := binary.LittleEndian.Uint64(data[16:24])
+	if uint64(len(data)-snapshotHeader) != n {
+		return nil, fmt.Errorf("wal: %s: truncated snapshot (%d of %d payload bytes)",
+			path, len(data)-snapshotHeader, n)
+	}
+	payload := data[snapshotHeader:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[12:16]) {
+		return nil, fmt.Errorf("wal: %s: snapshot checksum mismatch", path)
+	}
+	return payload, nil
+}
+
+// ListSnapshots returns the sequence numbers of dir's snapshot files
+// in ascending order.
+func ListSnapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapshotSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, snapshotSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// SnapshotPath returns the snapshot file path for seq in dir.
+func SnapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d%s", seq, snapshotSuffix))
+}
+
+// LoadLatestSnapshot returns the newest snapshot that reads back
+// cleanly, its sequence number, and whether one was found. Corrupt
+// snapshots are skipped (newest-first), so a bad write can only cost
+// replay time, never data.
+func LoadLatestSnapshot(dir string) (payload []byte, seq uint64, ok bool, err error) {
+	seqs, err := ListSnapshots(dir)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		payload, err := ReadSnapshot(SnapshotPath(dir, seqs[i]))
+		if err == nil {
+			return payload, seqs[i], true, nil
+		}
+	}
+	return nil, 0, false, nil
+}
+
+// PruneSnapshots removes all but the newest keep snapshot files (and
+// any stale temp files from interrupted writes). Keeping one extra
+// generation means a corrupt newest snapshot still recovers from the
+// previous one plus the (not yet compacted past it) WAL.
+func PruneSnapshots(dir string, keep int) (removed int, err error) {
+	if keep < 1 {
+		keep = 1
+	}
+	seqs, err := ListSnapshots(dir)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i+keep < len(seqs); i++ {
+		if err := os.Remove(SnapshotPath(dir, seqs[i])); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return removed, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "snapshot-") && strings.HasSuffix(e.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return removed, nil
+}

@@ -1,0 +1,103 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("snapshot-payload "), 100)
+	path, err := WriteSnapshot(dir, 42, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("snapshot payload mismatch")
+	}
+	data, seq, ok, err := LoadLatestSnapshot(dir)
+	if err != nil || !ok || seq != 42 || !bytes.Equal(data, payload) {
+		t.Fatalf("LoadLatestSnapshot = seq %d ok %v err %v", seq, ok, err)
+	}
+}
+
+func TestLoadLatestSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteSnapshot(dir, 10, []byte("old-good")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshot(dir, 20, []byte("new-soon-corrupt")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest snapshot's payload.
+	p := SnapshotPath(dir, 20)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload, seq, ok, err := LoadLatestSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("LoadLatestSnapshot: ok=%v err=%v", ok, err)
+	}
+	if seq != 10 || string(payload) != "old-good" {
+		t.Fatalf("fell back to seq %d payload %q, want 10 %q", seq, payload, "old-good")
+	}
+
+	// A truncated newest snapshot is also skipped.
+	if err := os.WriteFile(p, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, seq, ok, err = LoadLatestSnapshot(dir)
+	if err != nil || !ok || seq != 10 {
+		t.Fatalf("truncated newest: seq=%d ok=%v err=%v", seq, ok, err)
+	}
+}
+
+func TestLoadLatestEmptyDir(t *testing.T) {
+	_, _, ok, err := LoadLatestSnapshot(t.TempDir())
+	if err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	_, _, ok, err = LoadLatestSnapshot(filepath.Join(t.TempDir(), "missing"))
+	if err != nil || ok {
+		t.Fatalf("missing dir: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestPruneSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []uint64{5, 10, 15, 20} {
+		if _, err := WriteSnapshot(dir, seq, []byte("s")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stale temp file from an interrupted write gets cleaned too.
+	tmp := filepath.Join(dir, "snapshot-stale.tmp")
+	if err := os.WriteFile(tmp, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := PruneSnapshots(dir, 2)
+	if err != nil || removed != 2 {
+		t.Fatalf("PruneSnapshots removed %d err %v", removed, err)
+	}
+	seqs, err := ListSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 15 || seqs[1] != 20 {
+		t.Fatalf("surviving snapshots = %v", seqs)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package osars
 
 import (
 	"fmt"
+	"time"
 
 	"osars/internal/store"
 )
@@ -23,15 +24,39 @@ type (
 	// ItemStats is the externally visible state of one stored item.
 	ItemStats = store.ItemStats
 	// StoreStats is a snapshot of store-level counters (cache hits,
-	// misses, solves, evictions, resident bytes).
+	// misses, solves, evictions, resident bytes, WAL position).
 	StoreStats = store.Stats
+	// FsyncPolicy selects when a durable Store forces its write-ahead
+	// log to stable storage: FsyncAlways, FsyncInterval or FsyncNever.
+	FsyncPolicy = store.FsyncPolicy
+	// RecoveryStats reports what OpenStore restored from a data
+	// directory (snapshot position, replayed records, truncated torn
+	// tail).
+	RecoveryStats = store.RecoveryStats
 )
+
+// The write-ahead log fsync policies.
+const (
+	// FsyncAlways syncs before every acknowledgment (default):
+	// acknowledged writes survive power loss.
+	FsyncAlways = store.FsyncAlways
+	// FsyncInterval syncs on a background timer: near-FsyncNever
+	// throughput, bounded loss window.
+	FsyncInterval = store.FsyncInterval
+	// FsyncNever leaves syncing to the OS: survives process crashes,
+	// not power loss.
+	FsyncNever = store.FsyncNever
+)
+
+// ParseFsyncPolicy parses "always", "interval" or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return store.ParseFsyncPolicy(s) }
 
 // ErrItemNotFound is returned by Store reads for unknown item IDs.
 var ErrItemNotFound = store.ErrNotFound
 
-// StoreOptions tunes a Store's summary cache. The zero value uses the
-// defaults (store.DefaultMaxCacheEntries entries, 64 MiB).
+// StoreOptions tunes a Store's summary cache and durability. The zero
+// value is an in-memory store with the default cache budgets
+// (store.DefaultMaxCacheEntries entries, 64 MiB).
 type StoreOptions struct {
 	// MaxCacheEntries bounds the number of cached summaries
 	// (default 1024; negative disables caching).
@@ -39,28 +64,64 @@ type StoreOptions struct {
 	// MaxCacheBytes bounds the cache's approximate resident size
 	// (default 64 MiB; negative means entry-count-only).
 	MaxCacheBytes int64
+
+	// DataDir makes the store durable: ingestion is written to a
+	// segmented write-ahead log under this directory before it is
+	// acknowledged, snapshots bound recovery time, and OpenStore
+	// restores latest-snapshot-then-replay. Empty means in-memory.
+	DataDir string
+	// Fsync selects the WAL flush policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the flush period under FsyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery writes a snapshot and compacts the WAL after this
+	// many logged records (default 4096; negative disables automatic
+	// snapshots).
+	SnapshotEvery int
+	// WALSegmentBytes is the WAL segment rotation threshold
+	// (default 8 MiB).
+	WALSegmentBytes int64
 }
 
-// NewStore builds an empty stateful corpus sharing this Summarizer's
-// ontology, metric, extraction pipeline and RNG seed.
+// NewStore builds an in-memory stateful corpus sharing this
+// Summarizer's ontology, metric, extraction pipeline and RNG seed.
+// For a durable store (StoreOptions.DataDir) use OpenStore, which can
+// report recovery I/O errors; NewStore panics on them.
 //
 // Store methods take the store's own Method type; convert from the
 // root Method with StoreMethod, or use the string names via
 // ParseMethod on the wire.
 func (s *Summarizer) NewStore(opts StoreOptions) *Store {
-	st, err := store.New(store.Config{
+	st, err := s.OpenStore(opts)
+	if err != nil {
+		// Only reachable with a DataDir that fails to open/recover: a
+		// Summarizer built by New always carries a non-nil ontology
+		// and pipeline.
+		panic(fmt.Sprintf("osars: NewStore: %v", err))
+	}
+	return st
+}
+
+// OpenStore builds a stateful corpus, durable when opts.DataDir is
+// set: previous state is recovered from the newest valid snapshot
+// plus a write-ahead-log replay (Store.Recovery reports what was
+// restored), and every subsequent acknowledged write survives a
+// restart. Call Store.Close on shutdown to flush the log and write a
+// final snapshot.
+func (s *Summarizer) OpenStore(opts StoreOptions) (*Store, error) {
+	return store.New(store.Config{
 		Metric:          s.metric,
 		Pipeline:        s.pipeline,
 		Seed:            s.seed,
 		MaxCacheEntries: opts.MaxCacheEntries,
 		MaxCacheBytes:   opts.MaxCacheBytes,
+		DataDir:         opts.DataDir,
+		Fsync:           opts.Fsync,
+		FsyncInterval:   opts.FsyncInterval,
+		SnapshotEvery:   opts.SnapshotEvery,
+		SegmentBytes:    opts.WALSegmentBytes,
 	})
-	if err != nil {
-		// Unreachable: a Summarizer built by New always carries a
-		// non-nil ontology and pipeline.
-		panic(fmt.Sprintf("osars: NewStore: %v", err))
-	}
-	return st
 }
 
 // StoreMethod converts a root Method to the Store's method type.

@@ -44,8 +44,8 @@ func TestStoreRoundTrip(t *testing.T) {
 	if _, _, err := SummarizeStored(st, "zzz", 2, Sentences, MethodGreedy); !errors.Is(err, ErrItemNotFound) {
 		t.Fatalf("missing item err = %v", err)
 	}
-	if !st.Delete("p1") || st.Len() != 0 {
-		t.Fatalf("delete failed, len = %d", st.Len())
+	if deleted, err := st.Delete("p1"); !deleted || err != nil || st.Len() != 0 {
+		t.Fatalf("delete = (%v, %v), len = %d", deleted, err, st.Len())
 	}
 }
 

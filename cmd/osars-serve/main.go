@@ -23,6 +23,21 @@
 // The store is tuned with -cache-entries / -cache-bytes and disabled
 // entirely with -stateless.
 //
+// Sharding: -shards N partitions the corpus across N independent
+// stores (per-shard lock, generation counter, summary-cache slice and
+// WAL stream), routed by a seeded consistent hash of the item ID.
+// A durable sharded store keeps shard i under <data-dir>/shard-NNNN
+// and pins the layout in <data-dir>/shard-layout.json; reopening with
+// a different -shards count is refused (use a fresh -data-dir to
+// change the layout).
+//
+// Admission control: -max-inflight-solves bounds concurrently running
+// solve-class requests (POST /v1/summarize, GET /v1/items/{id}/summary);
+// excess requests wait at most -queue-wait in a bounded queue and are
+// then shed with 429 + Retry-After. GET /v1/stats exposes the
+// admission counters (inflight, queue depth high-water, shed counts)
+// and the per-shard store breakdown.
+//
 // Durable mode: with -data-dir the corpus survives restarts. Every
 // acknowledged write is appended to a CRC32C-framed write-ahead log
 // before the reply goes out (flush policy: -fsync always|interval|never),
@@ -78,6 +93,10 @@ func main() {
 		segBytes     = flag.Int64("wal-segment-bytes", 8<<20, "WAL segment rotation threshold")
 		shutdownWait = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
+		shards       = flag.Int("shards", 1, "partition the corpus across this many independent stores (per-shard lock + WAL); 1 keeps the single-partition layout")
+		maxSolves    = flag.Int("max-inflight-solves", 0, "admission control: max concurrently running solve requests (summarize + item summary); 0 disables (unlimited)")
+		maxReads     = flag.Int("max-inflight-reads", 0, "admission control: max concurrently running cheap-read requests (item stats + listings); 0 disables (unlimited)")
+		queueWait    = flag.Duration("queue-wait", server.DefaultQueueWait, "admission control: longest a request may wait for a slot before being shed with 429")
 	)
 	flag.Parse()
 
@@ -108,11 +127,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("osars-serve: %v", err)
 	}
-	var st *osars.Store
+	var st osars.Store
 	if !*stateless {
 		st, err = sum.OpenStore(osars.StoreOptions{
 			MaxCacheEntries: *cacheEntries,
 			MaxCacheBytes:   *cacheBytes,
+			Shards:          *shards,
 			DataDir:         *dataDir,
 			Fsync:           fsync,
 			FsyncInterval:   *fsyncEvery,
@@ -150,6 +170,12 @@ func main() {
 				Addr:              *pprofAddr,
 				Handler:           pm,
 				ReadHeaderTimeout: 10 * time.Second,
+				ReadTimeout:       30 * time.Second,
+				// Profiles stream for up to ?seconds=N; give them
+				// room, but never an unbounded connection.
+				WriteTimeout:   5 * time.Minute,
+				IdleTimeout:    2 * time.Minute,
+				MaxHeaderBytes: 1 << 20,
 			}
 			fmt.Printf("osars-serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 			if err := psrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -158,16 +184,37 @@ func main() {
 		}()
 	}
 	h := server.NewWithStore(sum, st)
+	if *maxSolves > 0 || *maxReads > 0 {
+		h.ConfigureAdmission(server.AdmissionConfig{
+			MaxInflightSolves: *maxSolves,
+			MaxInflightReads:  *maxReads,
+			QueueWait:         *queueWait,
+		})
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
+		// A slow (or malicious) client must never pin a connection
+		// forever: bound the whole request read, the whole response
+		// write and keep-alive idling. The write timeout leaves room
+		// for a queued admission wait plus a worst-case ILP solve.
+		ReadTimeout:    1 * time.Minute,
+		WriteTimeout:   2 * time.Minute,
+		IdleTimeout:    2 * time.Minute,
+		MaxHeaderBytes: 1 << 20,
 	}
 	mode := fmt.Sprintf("stateful, cache %d entries / %d MiB", *cacheEntries, *cacheBytes>>20)
 	if *stateless {
 		mode = "stateless"
 	} else if *dataDir != "" {
 		mode += fmt.Sprintf(", durable in %s (fsync=%s)", *dataDir, fsync)
+	}
+	if !*stateless && *shards > 1 {
+		mode += fmt.Sprintf(", %d shards", *shards)
+	}
+	if *maxSolves > 0 {
+		mode += fmt.Sprintf(", admission %d solves/queue-wait %v", *maxSolves, *queueWait)
 	}
 	fmt.Printf("osars-serve: listening on %s with %v (ε=%.2f, %s)\n", *addr, ont, *eps, mode)
 

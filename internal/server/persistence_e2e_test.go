@@ -4,20 +4,22 @@ import (
 	"encoding/json"
 	"net/http"
 	"testing"
+	"time"
 
 	"osars"
 	"osars/internal/dataset"
 )
 
 // durableServer builds a store-backed server rooted at dir (the
-// handler a `osars-serve -data-dir dir` process would run).
-func durableServer(t *testing.T, dir string) (*Server, *osars.Store) {
+// handler a `osars-serve -data-dir dir` process would run), with the
+// given shard count (the handler a `-shards n` process would run).
+func durableServer(t *testing.T, dir string, shards int) (*Server, osars.Store) {
 	t.Helper()
 	sum, err := osars.New(osars.Config{Ontology: dataset.CellPhoneOntology()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := sum.OpenStore(osars.StoreOptions{DataDir: dir})
+	st, err := sum.OpenStore(osars.StoreOptions{DataDir: dir, Shards: shards})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,10 +67,17 @@ func summaryBody(t *testing.T, srv *Server, path string) string {
 // TestServerRestartByteIdentical is the end-to-end restart acceptance
 // test: ingest reviews over HTTP, hard-stop the server (without a
 // graceful close), restart against the same data directory, and every
-// item listing and summary must come back byte-identical.
+// item listing and summary must come back byte-identical. It runs
+// against the single-partition store and a 4-shard store (per-shard
+// WAL directories, parallel recovery); both must behave identically.
 func TestServerRestartByteIdentical(t *testing.T) {
+	t.Run("shards=1", func(t *testing.T) { testRestartByteIdentical(t, 1) })
+	t.Run("shards=4", func(t *testing.T) { testRestartByteIdentical(t, 4) })
+}
+
+func testRestartByteIdentical(t *testing.T, shards int) {
 	dir := t.TempDir()
-	srv1, _ := durableServer(t, dir)
+	srv1, _ := durableServer(t, dir, shards)
 
 	for _, req := range []struct {
 		id   string
@@ -114,7 +123,7 @@ func TestServerRestartByteIdentical(t *testing.T) {
 	// Hard stop: the first server's store is simply abandoned —
 	// FsyncAlways already put every acknowledged write on disk.
 
-	srv2, st2 := durableServer(t, dir)
+	srv2, st2 := durableServer(t, dir, shards)
 	defer st2.Close()
 	if rec, ok := st2.Recovery(); !ok || rec.ReplayedRecords == 0 {
 		t.Fatalf("restarted store recovery = %+v ok=%v", rec, ok)
@@ -132,5 +141,107 @@ func TestServerRestartByteIdentical(t *testing.T) {
 	}
 	if w := do(t, srv2, http.MethodGet, "/v1/items/gone/summary?k=1", nil); w.Code != http.StatusNotFound {
 		t.Fatalf("summary of deleted item after restart: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// normalizeItems zeros the bookkeeping fields that legitimately
+// differ between two SEPARATE ingests of the same corpus: CreatedAt/
+// UpdatedAt are wall-clock and Generation is an opaque per-shard
+// token (each shard mints its own counter). Everything else — IDs,
+// names, ordering, review/sentence/pair counts — must match exactly.
+func normalizeItems(t *testing.T, body string) string {
+	t.Helper()
+	var items []osars.ItemStats
+	if err := json.Unmarshal([]byte(body), &items); err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		items[i].Generation = 0
+		items[i].CreatedAt = time.Time{}
+		items[i].UpdatedAt = time.Time{}
+	}
+	data, err := json.Marshal(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// normalizeSummary zeros the generation of a summary reply (see
+// normalizeItems); the selected content and cost must match exactly.
+func normalizeSummary(t *testing.T, body string) string {
+	t.Helper()
+	var resp ItemSummaryResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Generation = 0
+	data, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestShardedMatchesUnshardedOverHTTP ingests the same corpus into an
+// unsharded and an 8-shard durable server and pins that listings and
+// summaries are identical up to wall-clock timestamps and shard-local
+// generation tokens: partitioning must be invisible to clients.
+func TestShardedMatchesUnshardedOverHTTP(t *testing.T) {
+	flat, flatStore := durableServer(t, t.TempDir(), 1)
+	defer flatStore.Close()
+	sharded, shardedStore := durableServer(t, t.TempDir(), 8)
+	defer shardedStore.Close()
+
+	texts := []string{
+		"The screen is excellent. The battery is awful.",
+		"Amazing screen resolution! The battery life is terrible.",
+		"Great camera and a decent price.",
+		"The speaker is too quiet but the design is gorgeous.",
+	}
+	for i := 0; i < 24; i++ {
+		id := "item-" + string(rune('a'+i%7)) + "-" + string(rune('0'+i%3))
+		body := AppendReviewsRequest{Reviews: []RawReview{
+			{ID: "r" + string(rune('0'+i%10)), Text: texts[i%len(texts)], Rating: float64(i%5) / 4},
+		}}
+		for _, srv := range []*Server{flat, sharded} {
+			if w := do(t, srv, http.MethodPut, "/v1/items/"+id+"/reviews", body); w.Code != http.StatusOK {
+				t.Fatalf("append %s: %d %s", id, w.Code, w.Body.String())
+			}
+		}
+	}
+	got := normalizeItems(t, itemsBody(t, sharded))
+	want := normalizeItems(t, itemsBody(t, flat))
+	if got != want {
+		t.Fatalf("sharded GET /v1/items diverged from unsharded:\nflat:    %s\nsharded: %s", want, got)
+	}
+	for _, p := range []string{
+		"/v1/items/item-a-0/summary?k=2",
+		"/v1/items/item-b-1/summary?k=1&granularity=pairs",
+		"/v1/items/item-c-2/summary?k=1&granularity=reviews",
+	} {
+		got := normalizeSummary(t, summaryBody(t, sharded, p))
+		want := normalizeSummary(t, summaryBody(t, flat, p))
+		if got != want {
+			t.Fatalf("sharded GET %s diverged from unsharded:\nflat:    %s\nsharded: %s", p, want, got)
+		}
+	}
+}
+
+// TestShardLayoutPinned pins that a durable sharded directory refuses
+// to reopen with a different shard count: silently rerouting items
+// would make parts of the corpus unreachable.
+func TestShardLayoutPinned(t *testing.T) {
+	dir := t.TempDir()
+	_, st := durableServer(t, dir, 4)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := osars.New(osars.Config{Ontology: dataset.CellPhoneOntology()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sum.OpenStore(osars.StoreOptions{DataDir: dir, Shards: 8}); err == nil {
+		t.Fatal("reopening a 4-shard data dir with 8 shards succeeded; want layout error")
 	}
 }

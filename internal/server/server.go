@@ -19,6 +19,18 @@
 //	GET    /v1/items/{id}/summary    → ?k=&granularity=&method= → ItemSummaryResponse
 //	GET    /v1/items                 → ListItemsResponse (all items + store counters)
 //	DELETE /v1/items/{id}            → {"deleted": true}
+//	GET    /v1/stats                 → StatsResponse (store + admission counters)
+//
+// The store behind the item API may be sharded (osars.StoreOptions
+// .Shards > 1): routing is invisible here — the Store interface hides
+// it — but GET /v1/stats exposes the per-shard breakdown.
+//
+// Overload behavior: with admission control configured
+// (ConfigureAdmission), solve-class endpoints (POST /v1/summarize,
+// GET /v1/items/{id}/summary) and cheap-read endpoints are admitted
+// through separate bounded concurrency limits with a bounded wait
+// queue; excess load is shed fast with 429 + Retry-After instead of
+// piling up goroutines until everything is slow.
 package server
 
 import (
@@ -93,6 +105,15 @@ type ListItemsResponse struct {
 	Stats osars.StoreStats  `json:"stats"`
 }
 
+// StatsResponse is the GET /v1/stats reply: store counters (including
+// the per-shard breakdown for sharded stores) plus the admission-
+// control counters, so load shedding is observable without a
+// debugger. Store is omitted when the server runs stateless.
+type StatsResponse struct {
+	Store     *osars.StoreStats `json:"store,omitempty"`
+	Admission AdmissionStats    `json:"admission"`
+}
+
 // errorResponse is every non-2xx body.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -103,8 +124,11 @@ type errorResponse struct {
 // http.Handler.
 type Server struct {
 	sum   *osars.Summarizer
-	store *osars.Store
+	store osars.Store
 	mux   *http.ServeMux
+	// admission, when non-nil, gates the solve and read endpoint
+	// classes (see admission.go). Configure before serving traffic.
+	admission *admission
 	// MaxReviews rejects oversized requests (default 10000).
 	MaxReviews int
 	// MaxBodyBytes bounds request bodies (default 64 MiB). Larger
@@ -117,9 +141,10 @@ func New(s *osars.Summarizer) *Server {
 	return NewWithStore(s, s.NewStore(osars.StoreOptions{}))
 }
 
-// NewWithStore builds the handler around an explicit Store. A nil
-// store disables the stateful /v1/items endpoints (they answer 404).
-func NewWithStore(s *osars.Summarizer, st *osars.Store) *Server {
+// NewWithStore builds the handler around an explicit Store (which may
+// be sharded). A nil store disables the stateful /v1/items endpoints
+// (they answer 404).
+func NewWithStore(s *osars.Summarizer, st osars.Store) *Server {
 	srv := &Server{
 		sum:          s,
 		store:        st,
@@ -129,17 +154,28 @@ func NewWithStore(s *osars.Summarizer, st *osars.Store) *Server {
 	}
 	srv.mux.HandleFunc("/healthz", srv.handleHealth)
 	srv.mux.HandleFunc("/v1/ontology", srv.handleOntology)
-	srv.mux.HandleFunc("/v1/summarize", srv.handleSummarize)
+	srv.mux.HandleFunc("/v1/summarize", srv.admit(solveClass, srv.handleSummarize))
 	srv.mux.HandleFunc("PUT /v1/items/{id}/reviews", srv.handleAppendReviews)
-	srv.mux.HandleFunc("GET /v1/items/{id}/summary", srv.handleItemSummary)
-	srv.mux.HandleFunc("GET /v1/items/{id}", srv.handleItemStats)
-	srv.mux.HandleFunc("GET /v1/items", srv.handleListItems)
+	srv.mux.HandleFunc("GET /v1/items/{id}/summary", srv.admit(solveClass, srv.handleItemSummary))
+	srv.mux.HandleFunc("GET /v1/items/{id}", srv.admit(readClass, srv.handleItemStats))
+	srv.mux.HandleFunc("GET /v1/items", srv.admit(readClass, srv.handleListItems))
 	srv.mux.HandleFunc("DELETE /v1/items/{id}", srv.handleDeleteItem)
+	srv.mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	return srv
 }
 
+// ConfigureAdmission arms admission control. Call once, before the
+// server starts handling traffic; a zero config (all limits ≤ 0)
+// leaves every class unlimited. /healthz, /v1/stats and the ingest
+// endpoints are never gated: health checks and observability must
+// work exactly when the server is saturated, and ingestion backs up
+// on the store's own WAL ordering instead.
+func (s *Server) ConfigureAdmission(cfg AdmissionConfig) {
+	s.admission = newAdmission(cfg)
+}
+
 // Store returns the backing store (nil in stateless-only mode).
-func (s *Server) Store() *osars.Store { return s.store }
+func (s *Server) Store() osars.Store { return s.store }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -361,6 +397,15 @@ func (s *Server) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{Admission: s.admission.stats()}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) pairJSON(p osars.Pair) PairJSON {

@@ -530,6 +530,15 @@ type Stats struct {
 	WALLastSeq       uint64 `json:"wal_last_seq,omitempty"`
 	WALSegments      int    `json:"wal_segments,omitempty"`
 	SnapshotsWritten uint64 `json:"snapshots_written,omitempty"`
+
+	// Sharding breakdown, set only by the sharded wrapper
+	// (internal/shard): Shards is the partition count and PerShard the
+	// per-partition counters (indexed by shard), so skewed placement,
+	// hot shards and per-shard cache behavior are observable. For the
+	// aggregate view, WALLastSeq is the max across shards (each shard
+	// numbers its own WAL) and the other counters are sums.
+	Shards   int     `json:"shards,omitempty"`
+	PerShard []Stats `json:"per_shard,omitempty"`
 }
 
 // Stats returns the current counters. Because the counters are

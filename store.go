@@ -1,9 +1,13 @@
 package osars
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
+	"osars/internal/shard"
 	"osars/internal/store"
 )
 
@@ -12,27 +16,85 @@ import (
 // summaries per corpus generation with LRU eviction, and collapses
 // concurrent identical reads into one coverage solve. It is the
 // library-level counterpart of the server's stateful
-// /v1/items endpoints.
+// /v1/items endpoints. With StoreOptions.Shards > 1 the corpus is
+// partitioned across independent shards (each with its own lock,
+// generation counter, summary-cache slice and WAL stream) behind the
+// same interface.
 type (
-	// Store is the in-memory, concurrency-safe corpus of annotated
-	// items with a generation-aware summary cache. Create one with
-	// Summarizer.NewStore.
-	Store = store.Store
 	// StoredSummary is a summary computed by a Store; it additionally
 	// carries the item's corpus generation and the effective k.
 	StoredSummary = store.Summary
 	// ItemStats is the externally visible state of one stored item.
 	ItemStats = store.ItemStats
 	// StoreStats is a snapshot of store-level counters (cache hits,
-	// misses, solves, evictions, resident bytes, WAL position).
+	// misses, solves, evictions, resident bytes, WAL position, and —
+	// for sharded stores — the per-shard breakdown).
 	StoreStats = store.Stats
+	// StoredMethod is the Store-level algorithm selector; convert from
+	// the root Method with StoreMethod.
+	StoredMethod = store.Method
 	// FsyncPolicy selects when a durable Store forces its write-ahead
 	// log to stable storage: FsyncAlways, FsyncInterval or FsyncNever.
 	FsyncPolicy = store.FsyncPolicy
 	// RecoveryStats reports what OpenStore restored from a data
 	// directory (snapshot position, replayed records, truncated torn
-	// tail).
+	// tail); for a sharded store the counters are summed across shards
+	// and the sequence fields are per-shard maxima.
 	RecoveryStats = store.RecoveryStats
+)
+
+// Store is the stateful corpus: a concurrency-safe collection of
+// incrementally annotated items with a generation-aware summary cache.
+// Create one with Summarizer.NewStore / Summarizer.OpenStore. Two
+// implementations satisfy it: the single-partition store.Store and the
+// sharded shard.ShardedStore (StoreOptions.Shards > 1), which routes
+// each item to one of N independent partitions by a seeded consistent
+// hash so appends and solves on different items stop contending on one
+// lock and one WAL stream.
+type Store interface {
+	// AppendReviews ingests new reviews for the item, creating it if
+	// needed; only the new reviews are annotated. On a durable store
+	// the raw reviews hit the write-ahead log before the call returns.
+	AppendReviews(id, name string, reviews []Review) (ItemStats, error)
+	// Item returns the current annotated snapshot and generation
+	// (read-only).
+	Item(id string) (*Item, uint64, bool)
+	// ItemStats returns the stats of one item.
+	ItemStats(id string) (ItemStats, bool)
+	// List returns the stats of every item, sorted by ID. A sharded
+	// store's List is byte-identical to the unsharded store's over the
+	// same corpus.
+	List() []ItemStats
+	// Len returns the number of items.
+	Len() int
+	// Summary returns the k-unit summary of the item's current corpus;
+	// cached reports whether it was answered without a new solve.
+	Summary(id string, k int, g Granularity, m StoredMethod) (*StoredSummary, bool, error)
+	// Delete removes an item and purges its cached summaries.
+	Delete(id string) (bool, error)
+	// Stats returns the store-level counters.
+	Stats() StoreStats
+	// Snapshot forces a snapshot + WAL compaction now (no-op for
+	// in-memory stores).
+	Snapshot() error
+	// Sync forces everything logged so far to stable storage (no-op
+	// for in-memory stores).
+	Sync() error
+	// Recovery reports what OpenStore restored from disk; ok is false
+	// for in-memory stores.
+	Recovery() (RecoveryStats, bool)
+	// PersistErr returns the most recent background fsync/snapshot
+	// failure, if any.
+	PersistErr() error
+	// Close flushes the WAL, writes a final snapshot and releases the
+	// log (no-op for in-memory stores). Safe to call more than once.
+	Close() error
+}
+
+// Both corpus implementations satisfy the Store interface.
+var (
+	_ Store = (*store.Store)(nil)
+	_ Store = (*shard.ShardedStore)(nil)
 )
 
 // The write-ahead log fsync policies.
@@ -54,16 +116,33 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return store.ParseFsyncPo
 // ErrItemNotFound is returned by Store reads for unknown item IDs.
 var ErrItemNotFound = store.ErrNotFound
 
-// StoreOptions tunes a Store's summary cache and durability. The zero
-// value is an in-memory store with the default cache budgets
-// (store.DefaultMaxCacheEntries entries, 64 MiB).
+// StoreOptions tunes a Store's summary cache, durability and
+// partitioning. The zero value is an unsharded in-memory store with
+// the default cache budgets (store.DefaultMaxCacheEntries entries,
+// 64 MiB).
 type StoreOptions struct {
 	// MaxCacheEntries bounds the number of cached summaries
-	// (default 1024; negative disables caching).
+	// (default 1024; negative disables caching). In a sharded store
+	// the budget is split evenly across shards.
 	MaxCacheEntries int
 	// MaxCacheBytes bounds the cache's approximate resident size
-	// (default 64 MiB; negative means entry-count-only).
+	// (default 64 MiB; negative means entry-count-only). Split evenly
+	// across shards.
 	MaxCacheBytes int64
+
+	// Shards partitions the corpus across this many independent
+	// stores (default/≤1: a single partition). Each shard owns its own
+	// lock, generation counter, summary-cache slice and — in durable
+	// mode — its own WAL/snapshot directory <DataDir>/shard-NNNN.
+	// Items route to shards by a seeded consistent hash of the item
+	// ID, which is stable across restarts; a durable sharded data
+	// directory is pinned to its layout and cannot be reopened with a
+	// different shard count.
+	Shards int
+	// ShardHashSeed overrides the item-placement hash seed (default
+	// shard.DefaultHashSeed). Rarely needed; changing it on an
+	// existing durable directory is refused.
+	ShardHashSeed uint64
 
 	// DataDir makes the store durable: ingestion is written to a
 	// segmented write-ahead log under this directory before it is
@@ -76,8 +155,8 @@ type StoreOptions struct {
 	// (default 100ms).
 	FsyncInterval time.Duration
 	// SnapshotEvery writes a snapshot and compacts the WAL after this
-	// many logged records (default 4096; negative disables automatic
-	// snapshots).
+	// many logged records per shard (default 4096; negative disables
+	// automatic snapshots).
 	SnapshotEvery int
 	// WALSegmentBytes is the WAL segment rotation threshold
 	// (default 8 MiB).
@@ -89,15 +168,15 @@ type StoreOptions struct {
 // For a durable store (StoreOptions.DataDir) use OpenStore, which can
 // report recovery I/O errors; NewStore panics on them.
 //
-// Store methods take the store's own Method type; convert from the
-// root Method with StoreMethod, or use the string names via
-// ParseMethod on the wire.
-func (s *Summarizer) NewStore(opts StoreOptions) *Store {
+// Store methods take the StoredMethod type; convert from the root
+// Method with StoreMethod, or use the string names via ParseMethod on
+// the wire.
+func (s *Summarizer) NewStore(opts StoreOptions) Store {
 	st, err := s.OpenStore(opts)
 	if err != nil {
-		// Only reachable with a DataDir that fails to open/recover: a
-		// Summarizer built by New always carries a non-nil ontology
-		// and pipeline.
+		// Only reachable with a DataDir that fails to open/recover or
+		// an invalid shard count: a Summarizer built by New always
+		// carries a non-nil ontology and pipeline.
 		panic(fmt.Sprintf("osars: NewStore: %v", err))
 	}
 	return st
@@ -107,10 +186,12 @@ func (s *Summarizer) NewStore(opts StoreOptions) *Store {
 // set: previous state is recovered from the newest valid snapshot
 // plus a write-ahead-log replay (Store.Recovery reports what was
 // restored), and every subsequent acknowledged write survives a
-// restart. Call Store.Close on shutdown to flush the log and write a
-// final snapshot.
-func (s *Summarizer) OpenStore(opts StoreOptions) (*Store, error) {
-	return store.New(store.Config{
+// restart. With opts.Shards > 1 the corpus is partitioned across that
+// many independent shards (recovered in parallel at boot). Call
+// Store.Close on shutdown to flush the log(s) and write final
+// snapshots.
+func (s *Summarizer) OpenStore(opts StoreOptions) (Store, error) {
+	cfg := store.Config{
 		Metric:          s.metric,
 		Pipeline:        s.pipeline,
 		Seed:            s.seed,
@@ -121,11 +202,19 @@ func (s *Summarizer) OpenStore(opts StoreOptions) (*Store, error) {
 		FsyncInterval:   opts.FsyncInterval,
 		SnapshotEvery:   opts.SnapshotEvery,
 		SegmentBytes:    opts.WALSegmentBytes,
-	})
+	}
+	if opts.Shards > 1 {
+		return shard.New(shard.Config{
+			Shards:   opts.Shards,
+			HashSeed: opts.ShardHashSeed,
+			Store:    cfg,
+		})
+	}
+	return store.New(cfg)
 }
 
 // StoreMethod converts a root Method to the Store's method type.
-func StoreMethod(m Method) (store.Method, error) {
+func StoreMethod(m Method) (StoredMethod, error) {
 	switch m {
 	case MethodGreedy:
 		return store.MethodGreedy, nil
@@ -142,10 +231,78 @@ func StoreMethod(m Method) (store.Method, error) {
 
 // SummarizeStored is a convenience wrapper: it summarizes a stored
 // item using the root package's Method type.
-func SummarizeStored(st *Store, id string, k int, g Granularity, m Method) (*StoredSummary, bool, error) {
+func SummarizeStored(st Store, id string, k int, g Granularity, m Method) (*StoredSummary, bool, error) {
 	sm, err := StoreMethod(m)
 	if err != nil {
 		return nil, false, err
 	}
 	return st.Summary(id, k, g, sm)
+}
+
+// StoredBatchRequest asks for one stored item's summary inside
+// SummarizeStoredBatchCtx.
+type StoredBatchRequest struct {
+	ID          string
+	K           int
+	Granularity Granularity
+	Method      Method
+}
+
+// StoredBatchResult pairs a stored-batch request's summary with its
+// error; Cached reports whether the summary was answered without a
+// new coverage solve.
+type StoredBatchResult struct {
+	Summary *StoredSummary
+	Cached  bool
+	Err     error
+}
+
+// SummarizeStoredBatchCtx summarizes many stored items concurrently
+// with a bounded worker pool, returning results aligned with the
+// requests. Against a sharded store the per-item solves fan out across
+// shards: each worker's Summary call routes to the owning shard, so
+// no two items on different shards contend on the same lock or cache.
+// workers ≤ 0 uses GOMAXPROCS. When ctx fires, in-flight solves run
+// to completion and every unprocessed slot carries ctx.Err().
+func SummarizeStoredBatchCtx(ctx context.Context, st Store, reqs []StoredBatchRequest, workers int) []StoredBatchResult {
+	results := make([]StoredBatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					results[i] = StoredBatchResult{Err: err}
+					continue
+				}
+				sum, cached, err := SummarizeStored(st, reqs[i].ID, reqs[i].K, reqs[i].Granularity, reqs[i].Method)
+				results[i] = StoredBatchResult{Summary: sum, Cached: cached, Err: err}
+			}
+		}()
+	}
+dispatch:
+	for i := range reqs {
+		select {
+		case <-ctx.Done():
+			for j := i; j < len(reqs); j++ {
+				results[j] = StoredBatchResult{Err: ctx.Err()}
+			}
+			break dispatch
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return results
 }

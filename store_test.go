@@ -7,7 +7,7 @@ import (
 	"osars/internal/dataset"
 )
 
-func storeFixture(t *testing.T) (*Summarizer, *Store) {
+func storeFixture(t *testing.T) (*Summarizer, Store) {
 	t.Helper()
 	s, err := New(Config{Ontology: dataset.CellPhoneOntology()})
 	if err != nil {

@@ -45,6 +45,7 @@ import (
 	"osars/internal/store"
 	"osars/internal/summarize"
 	"osars/internal/text"
+	"osars/internal/wal"
 )
 
 const benchK = 5
@@ -171,6 +172,66 @@ func benches(f *fixture) []struct {
 		{"ShardMixed1", shardMixedBench(f, 1)},
 		{"ShardMixed4", shardMixedBench(f, 4)},
 		{"ShardMixed16", shardMixedBench(f, 16)},
+		{"ReplTail", replTailBench()},
+	}
+}
+
+// replTailBench measures the primary-side replication read path: one
+// op drains a fresh wal.Tail over a 512-record log spanning several
+// segments — the raw-frame reads, CRC re-verification and sequence
+// checks a /v1/repl/stream response performs per catch-up. The log is
+// built once; every op re-reads it cold from offset 0, so the number
+// includes the skip-scan positioning and per-segment file opens a
+// reconnecting follower pays.
+func replTailBench() func(b *testing.B) {
+	const (
+		records     = 512
+		payloadSize = 256
+	)
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "osars-bench-repltail-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		l, _, err := wal.Open(dir, wal.Options{SegmentBytes: 32 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		payload := make([]byte, payloadSize)
+		for i := range payload {
+			payload[i] = byte('a' + i%26)
+		}
+		for i := 0; i < records; i++ {
+			if _, err := l.Append(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(records * wal.FrameSize(payloadSize)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tail, err := l.TailAfter(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got := 0
+			for {
+				_, n, _, err := tail.Next(1 << 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					break
+				}
+				got += n
+			}
+			if got != records {
+				b.Fatalf("drained %d records, want %d", got, records)
+			}
+			tail.Close()
+		}
+		b.StopTimer()
 	}
 }
 

@@ -46,6 +46,23 @@
 //
 //	osars-serve -addr :8080 -data-dir /var/lib/osars -fsync always
 //
+// Replication: a durable server is a replication primary by default —
+// it serves its WAL streams under /v1/repl/ so read replicas can
+// follow. A replica runs with -role=replica -follow=<primary URL>:
+// it tails every shard's WAL from the primary, applies the records
+// locally, serves the full read/summary API, and rejects writes with
+// 403 naming the primary:
+//
+//	osars-serve -addr :8080 -data-dir /var/lib/osars -shards 4
+//	osars-serve -addr :8081 -data-dir /var/lib/osars-replica -shards 4 \
+//	    -role=replica -follow=http://localhost:8080
+//
+// /readyz (as opposed to the pure-liveness /healthz) answers 503
+// while boot recovery runs, and on a replica while the replication
+// lag exceeds -max-lag-for-ready — so a load balancer stops routing
+// reads to a node that would serve stale data. GET /v1/repl/status
+// reports the per-shard positions on either role.
+//
 // On SIGINT/SIGTERM the server drains in-flight requests
 // (-shutdown-timeout), flushes the WAL and writes a final snapshot
 // before exiting, so the next boot replays nothing.
@@ -68,12 +85,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"osars"
 	"osars/internal/dataset"
 	"osars/internal/ontology"
+	"osars/internal/repl"
 	"osars/internal/server"
 )
 
@@ -97,8 +116,27 @@ func main() {
 		maxSolves    = flag.Int("max-inflight-solves", 0, "admission control: max concurrently running solve requests (summarize + item summary); 0 disables (unlimited)")
 		maxReads     = flag.Int("max-inflight-reads", 0, "admission control: max concurrently running cheap-read requests (item stats + listings); 0 disables (unlimited)")
 		queueWait    = flag.Duration("queue-wait", server.DefaultQueueWait, "admission control: longest a request may wait for a slot before being shed with 429")
+		role         = flag.String("role", "primary", "replication role: primary (serves WAL streams under /v1/repl/ when durable) or replica (read-only, follows -follow)")
+		follow       = flag.String("follow", "", "replica mode: base URL of the primary to follow, e.g. http://primary:8080")
+		maxLagReady  = flag.Uint64("max-lag-for-ready", 1024, "replica readiness: /readyz answers 503 while the worst per-shard replication lag exceeds this many WAL records")
 	)
 	flag.Parse()
+
+	switch *role {
+	case "primary":
+		if *follow != "" {
+			log.Fatalf("osars-serve: -follow is only valid with -role=replica")
+		}
+	case "replica":
+		if *follow == "" {
+			log.Fatalf("osars-serve: -role=replica requires -follow=<primary URL>")
+		}
+		if *stateless {
+			log.Fatalf("osars-serve: -role=replica needs the stateful store (drop -stateless)")
+		}
+	default:
+		log.Fatalf("osars-serve: unknown -role %q (primary|replica)", *role)
+	}
 
 	var ont *ontology.Ontology
 	switch {
@@ -127,32 +165,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("osars-serve: %v", err)
 	}
-	var st osars.Store
-	if !*stateless {
-		st, err = sum.OpenStore(osars.StoreOptions{
-			MaxCacheEntries: *cacheEntries,
-			MaxCacheBytes:   *cacheBytes,
-			Shards:          *shards,
-			DataDir:         *dataDir,
-			Fsync:           fsync,
-			FsyncInterval:   *fsyncEvery,
-			SnapshotEvery:   *snapEvery,
-			WALSegmentBytes: *segBytes,
-		})
-		if err != nil {
-			log.Fatalf("osars-serve: open store: %v", err)
-		}
-		if rec, ok := st.Recovery(); ok {
-			fmt.Printf("osars-serve: recovered %d items from %s in %v "+
-				"(snapshot seq %d with %d items, %d WAL records replayed, wal seq %d",
-				rec.Items, *dataDir, rec.Duration.Round(time.Microsecond),
-				rec.SnapshotSeq, rec.SnapshotItems, rec.ReplayedRecords, rec.LastSeq)
-			if rec.TruncatedBytes > 0 {
-				fmt.Printf("; torn tail: %d bytes truncated, %d segments dropped", rec.TruncatedBytes, rec.DroppedSegments)
-			}
-			fmt.Println(")")
-		}
-	} else if *dataDir != "" {
+	if *stateless && *dataDir != "" {
 		log.Fatalf("osars-serve: -data-dir requires the stateful store (drop -stateless)")
 	}
 	if *pprofAddr != "" {
@@ -183,7 +196,12 @@ func main() {
 			}
 		}()
 	}
-	h := server.NewWithStore(sum, st)
+
+	// The handler mounts before the store exists so the listener can
+	// answer /healthz (and the repl endpoints can answer 503) while a
+	// large WAL recovery runs; FinishBoot installs the store when it is
+	// ready.
+	h := server.NewWithStore(sum, nil)
 	if *maxSolves > 0 || *maxReads > 0 {
 		h.ConfigureAdmission(server.AdmissionConfig{
 			MaxInflightSolves: *maxSolves,
@@ -191,6 +209,34 @@ func main() {
 			QueueWait:         *queueWait,
 		})
 	}
+	var (
+		primaryH    *repl.PrimaryHandler
+		replicaH    *repl.ReplicaHandler
+		followerRef atomic.Pointer[repl.Follower]
+	)
+	if !*stateless {
+		h.BeginBoot()
+		switch {
+		case *role == "replica":
+			replicaH = repl.NewReplicaHandler()
+			h.HandleRepl(replicaH)
+			h.SetPrimary(*follow)
+			h.ConfigureReadiness(func() error {
+				f := followerRef.Load()
+				if f == nil {
+					return errors.New("replication follower not started")
+				}
+				if lag := f.MaxLagSeqs(); lag > *maxLagReady {
+					return fmt.Errorf("replication lag %d records exceeds -max-lag-for-ready=%d", lag, *maxLagReady)
+				}
+				return nil
+			})
+		case *dataDir != "":
+			primaryH = repl.NewPrimaryHandler()
+			h.HandleRepl(primaryH)
+		}
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
@@ -198,12 +244,73 @@ func main() {
 		// A slow (or malicious) client must never pin a connection
 		// forever: bound the whole request read, the whole response
 		// write and keep-alive idling. The write timeout leaves room
-		// for a queued admission wait plus a worst-case ILP solve.
+		// for a queued admission wait plus a worst-case ILP solve; the
+		// replication stream handler extends its own deadline per
+		// flushed batch via http.ResponseController.
 		ReadTimeout:    1 * time.Minute,
 		WriteTimeout:   2 * time.Minute,
 		IdleTimeout:    2 * time.Minute,
 		MaxHeaderBytes: 1 << 20,
 	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	// Boot the store with the listener already accepting connections:
+	// /healthz answers, /readyz and the stateful endpoints say 503
+	// until FinishBoot.
+	var st osars.Store
+	var follower *repl.Follower
+	if !*stateless {
+		st, err = sum.OpenStore(osars.StoreOptions{
+			MaxCacheEntries: *cacheEntries,
+			MaxCacheBytes:   *cacheBytes,
+			Shards:          *shards,
+			DataDir:         *dataDir,
+			Fsync:           fsync,
+			FsyncInterval:   *fsyncEvery,
+			SnapshotEvery:   *snapEvery,
+			WALSegmentBytes: *segBytes,
+			Replica:         *role == "replica",
+		})
+		if err != nil {
+			log.Fatalf("osars-serve: open store: %v", err)
+		}
+		if rec, ok := st.Recovery(); ok {
+			fmt.Printf("osars-serve: recovered %d items from %s in %v "+
+				"(snapshot seq %d with %d items, %d WAL records replayed, wal seq %d",
+				rec.Items, *dataDir, rec.Duration.Round(time.Microsecond),
+				rec.SnapshotSeq, rec.SnapshotItems, rec.ReplayedRecords, rec.LastSeq)
+			if rec.TruncatedBytes > 0 {
+				fmt.Printf("; torn tail: %d bytes truncated, %d segments dropped", rec.TruncatedBytes, rec.DroppedSegments)
+			}
+			fmt.Println(")")
+		}
+		h.FinishBoot(st)
+		if primaryH != nil {
+			src, err := repl.NewSource(st)
+			if err != nil {
+				log.Fatalf("osars-serve: %v", err)
+			}
+			primaryH.Attach(src)
+		}
+		if *role == "replica" {
+			tgt, err := repl.NewTarget(st)
+			if err != nil {
+				log.Fatalf("osars-serve: %v", err)
+			}
+			follower, err = repl.StartFollower(repl.FollowerConfig{
+				PrimaryURL: *follow,
+				Target:     tgt,
+				Logf:       log.Printf,
+			})
+			if err != nil {
+				log.Fatalf("osars-serve: %v", err)
+			}
+			followerRef.Store(follower)
+			replicaH.Attach(follower, *follow)
+		}
+	}
+
 	mode := fmt.Sprintf("stateful, cache %d entries / %d MiB", *cacheEntries, *cacheBytes>>20)
 	if *stateless {
 		mode = "stateless"
@@ -216,6 +323,12 @@ func main() {
 	if *maxSolves > 0 {
 		mode += fmt.Sprintf(", admission %d solves/queue-wait %v", *maxSolves, *queueWait)
 	}
+	switch {
+	case *role == "replica":
+		mode += fmt.Sprintf(", replica of %s (ready under %d lag)", *follow, *maxLagReady)
+	case primaryH != nil:
+		mode += ", replication primary"
+	}
 	fmt.Printf("osars-serve: listening on %s with %v (ε=%.2f, %s)\n", *addr, ont, *eps, mode)
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
@@ -224,8 +337,6 @@ func main() {
 	// immediately.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -240,6 +351,11 @@ func main() {
 			log.Printf("osars-serve: drain: %v (closing anyway)", err)
 			srv.Close()
 		}
+	}
+	// Stop the follower before closing the store: an apply racing the
+	// close would fail spuriously.
+	if follower != nil {
+		follower.Stop()
 	}
 	if st != nil {
 		if err := st.Close(); err != nil {

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"osars"
+	"osars/internal/dataset"
+)
+
+func newSum(t *testing.T) *osars.Summarizer {
+	t.Helper()
+	s, err := osars.New(osars.Config{Ontology: dataset.CellPhoneOntology()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestReadyzBootLifecycle: /readyz (and the stateful endpoints) must
+// answer 503 between BeginBoot and FinishBoot, while /healthz keeps
+// answering 200 the whole time — liveness and readiness are different
+// questions.
+func TestReadyzBootLifecycle(t *testing.T) {
+	sum := newSum(t)
+	srv := NewWithStore(sum, nil)
+	srv.BeginBoot()
+
+	if w := do(t, srv, http.MethodGet, "/healthz", nil); w.Code != http.StatusOK {
+		t.Fatalf("/healthz during boot = %d, want 200", w.Code)
+	}
+	if w := do(t, srv, http.MethodGet, "/readyz", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during boot = %d, want 503", w.Code)
+	}
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/items"},
+		{http.MethodGet, "/v1/items/p1"},
+		{http.MethodGet, "/v1/items/p1/summary?k=2"},
+		{http.MethodGet, "/v1/stats"},
+	} {
+		w := do(t, srv, probe.method, probe.path, nil)
+		if probe.path == "/v1/stats" {
+			// Stats stays reachable (observability during boot) but
+			// must not touch the absent store.
+			if w.Code != http.StatusOK {
+				t.Fatalf("%s during boot = %d, want 200", probe.path, w.Code)
+			}
+			continue
+		}
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s during boot = %d, want 503", probe.method, probe.path, w.Code)
+		}
+	}
+
+	srv.FinishBoot(sum.NewStore(osars.StoreOptions{}))
+	if w := do(t, srv, http.MethodGet, "/readyz", nil); w.Code != http.StatusOK {
+		t.Fatalf("/readyz after boot = %d: %s", w.Code, w.Body.String())
+	}
+	if w := do(t, srv, http.MethodGet, "/v1/items", nil); w.Code != http.StatusOK {
+		t.Fatalf("/v1/items after boot = %d", w.Code)
+	}
+}
+
+// TestReadyzProbe: a configured readiness probe (the replica lag
+// check) gates /readyz after boot.
+func TestReadyzProbe(t *testing.T) {
+	sum := newSum(t)
+	srv := New(sum)
+	probeErr := errors.New("replication lag 5000 records exceeds -max-lag-for-ready=100")
+	srv.ConfigureReadiness(func() error { return probeErr })
+
+	w := do(t, srv, http.MethodGet, "/readyz", nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with failing probe = %d, want 503", w.Code)
+	}
+	var e errorResponse
+	decode(t, w, &e)
+	if e.Error != probeErr.Error() {
+		t.Fatalf("/readyz error = %q, want the probe error", e.Error)
+	}
+
+	probeErr = nil
+	if w := do(t, srv, http.MethodGet, "/readyz", nil); w.Code != http.StatusOK {
+		t.Fatalf("/readyz with passing probe = %d", w.Code)
+	}
+	// Probes never gate liveness.
+	if w := do(t, srv, http.MethodGet, "/healthz", nil); w.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d", w.Code)
+	}
+}
+
+// persistErrStore wraps a Store, injecting a persistence failure.
+type persistErrStore struct {
+	osars.Store
+	err error
+}
+
+func (p persistErrStore) PersistErr() error { return p.err }
+
+// TestStatsSurfacesPersistError: a background fsync/snapshot failure
+// must show up in GET /v1/stats — the read path looks healthy when
+// the disk is not.
+func TestStatsSurfacesPersistError(t *testing.T) {
+	sum := newSum(t)
+	srv := NewWithStore(sum, persistErrStore{
+		Store: sum.NewStore(osars.StoreOptions{}),
+		err:   errors.New("wal sync: no space left on device"),
+	})
+	w := do(t, srv, http.MethodGet, "/v1/stats", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/stats = %d", w.Code)
+	}
+	var resp StatsResponse
+	decode(t, w, &resp)
+	if resp.PersistError != "wal sync: no space left on device" {
+		t.Fatalf("persist_error = %q", resp.PersistError)
+	}
+
+	// And a healthy store reports no error at all.
+	healthy := NewWithStore(sum, sum.NewStore(osars.StoreOptions{}))
+	w = do(t, healthy, http.MethodGet, "/v1/stats", nil)
+	var clean StatsResponse
+	decode(t, w, &clean)
+	if clean.PersistError != "" {
+		t.Fatalf("healthy persist_error = %q", clean.PersistError)
+	}
+}
+
+// TestReadOnlyReplicaRejectsWrites: SetPrimary turns the write
+// endpoints into 403s that name the primary, while reads keep working.
+func TestReadOnlyReplicaRejectsWrites(t *testing.T) {
+	sum := newSum(t)
+	st := sum.NewStore(osars.StoreOptions{})
+	if _, err := st.AppendReviews("p1", "Phone", []osars.Review{{ID: "r1", Text: "The screen is excellent."}}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithStore(sum, st)
+	srv.SetPrimary("http://primary:8080")
+
+	w := do(t, srv, http.MethodPut, "/v1/items/p1/reviews", AppendReviewsRequest{
+		Reviews: []RawReview{{ID: "r2", Text: "more"}},
+	})
+	if w.Code != http.StatusForbidden {
+		t.Fatalf("PUT on replica = %d, want 403", w.Code)
+	}
+	var e errorResponse
+	decode(t, w, &e)
+	if e.Primary != "http://primary:8080" {
+		t.Fatalf("403 body = %+v, want the primary URL", e)
+	}
+	if w := do(t, srv, http.MethodDelete, "/v1/items/p1", nil); w.Code != http.StatusForbidden {
+		t.Fatalf("DELETE on replica = %d, want 403", w.Code)
+	}
+	// Reads still serve.
+	if w := do(t, srv, http.MethodGet, "/v1/items/p1", nil); w.Code != http.StatusOK {
+		t.Fatalf("GET on replica = %d: %s", w.Code, w.Body.String())
+	}
+	if w := do(t, srv, http.MethodGet, "/v1/items/p1/summary?k=1", nil); w.Code != http.StatusOK {
+		t.Fatalf("summary on replica = %d: %s", w.Code, w.Body.String())
+	}
+}

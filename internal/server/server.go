@@ -11,7 +11,8 @@
 //
 // Endpoints:
 //
-//	GET    /healthz                  → 200 "ok"
+//	GET    /healthz                  → 200 "ok" (liveness: the process serves)
+//	GET    /readyz                   → 200 "ready" | 503 (readiness: boot done, replica caught up)
 //	GET    /v1/ontology              → the configured ontology as JSON
 //	POST   /v1/summarize             → SummarizeRequest → SummarizeResponse (stateless)
 //	PUT    /v1/items/{id}/reviews    → AppendReviewsRequest → item stats (append-only ingest)
@@ -31,6 +32,14 @@
 // through separate bounded concurrency limits with a bounded wait
 // queue; excess load is shed fast with 429 + Retry-After instead of
 // piling up goroutines until everything is slow.
+//
+// Replication roles: a primary mounts the WAL stream endpoints under
+// /v1/repl/ (HandleRepl); a replica additionally rejects local writes
+// (SetPrimary makes PUT/DELETE answer 403 naming the primary) and
+// gates /readyz on its replication lag (ConfigureReadiness). Both
+// roles can boot asynchronously — BeginBoot/FinishBoot let the
+// listener accept traffic (503 on stateful endpoints, /readyz not
+// ready) while the store still recovers its WAL.
 package server
 
 import (
@@ -39,6 +48,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"osars"
@@ -109,14 +119,21 @@ type ListItemsResponse struct {
 // the per-shard breakdown for sharded stores) plus the admission-
 // control counters, so load shedding is observable without a
 // debugger. Store is omitted when the server runs stateless.
+// PersistError surfaces the store's most recent background
+// fsync/snapshot failure — a store that can no longer persist looks
+// healthy on every read path, so it must be visible here.
 type StatsResponse struct {
-	Store     *osars.StoreStats `json:"store,omitempty"`
-	Admission AdmissionStats    `json:"admission"`
+	Store        *osars.StoreStats `json:"store,omitempty"`
+	Admission    AdmissionStats    `json:"admission"`
+	PersistError string            `json:"persist_error,omitempty"`
 }
 
-// errorResponse is every non-2xx body.
+// errorResponse is every non-2xx body. Primary is set on the 403 a
+// read-only replica returns for writes: it names the node that does
+// accept them.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	Primary string `json:"primary,omitempty"`
 }
 
 // Server handles the HTTP API around one Summarizer and (optionally)
@@ -129,6 +146,19 @@ type Server struct {
 	// admission, when non-nil, gates the solve and read endpoint
 	// classes (see admission.go). Configure before serving traffic.
 	admission *admission
+	// booting is true between BeginBoot and FinishBoot: the stateful
+	// endpoints answer 503 and /readyz is not ready. FinishBoot
+	// publishes s.store before clearing it, so handlers that observe
+	// booting == false see the fully constructed store.
+	booting atomic.Bool
+	// primary, when set (SetPrimary), marks this node a read-only
+	// replica: PUT/DELETE answer 403 naming this URL. Set before
+	// serving traffic.
+	primary string
+	// readyProbe, when set (ConfigureReadiness), adds a condition to
+	// /readyz beyond boot completion (e.g. replication lag). Set before
+	// serving traffic.
+	readyProbe func() error
 	// MaxReviews rejects oversized requests (default 10000).
 	MaxReviews int
 	// MaxBodyBytes bounds request bodies (default 64 MiB). Larger
@@ -153,6 +183,7 @@ func NewWithStore(s *osars.Summarizer, st osars.Store) *Server {
 		MaxBodyBytes: 64 << 20,
 	}
 	srv.mux.HandleFunc("/healthz", srv.handleHealth)
+	srv.mux.HandleFunc("/readyz", srv.handleReady)
 	srv.mux.HandleFunc("/v1/ontology", srv.handleOntology)
 	srv.mux.HandleFunc("/v1/summarize", srv.admit(solveClass, srv.handleSummarize))
 	srv.mux.HandleFunc("PUT /v1/items/{id}/reviews", srv.handleAppendReviews)
@@ -174,8 +205,45 @@ func (s *Server) ConfigureAdmission(cfg AdmissionConfig) {
 	s.admission = newAdmission(cfg)
 }
 
-// Store returns the backing store (nil in stateless-only mode).
-func (s *Server) Store() osars.Store { return s.store }
+// Store returns the backing store (nil in stateless-only mode or
+// while booting).
+func (s *Server) Store() osars.Store {
+	if s.booting.Load() {
+		return nil
+	}
+	return s.store
+}
+
+// BeginBoot puts the server in boot mode: the stateful endpoints
+// answer 503 "recovering" and /readyz is not ready until FinishBoot.
+// Call before the listener starts, so a slow WAL recovery does not
+// keep /healthz (and the whole port) from answering.
+func (s *Server) BeginBoot() { s.booting.Store(true) }
+
+// FinishBoot installs the recovered store and leaves boot mode. Safe
+// to call while requests are in flight: the store write is published
+// by the atomic flag clear.
+func (s *Server) FinishBoot(st osars.Store) {
+	s.store = st
+	s.booting.Store(false)
+}
+
+// SetPrimary marks this node a read-only replica: the write endpoints
+// (PUT /v1/items/{id}/reviews, DELETE /v1/items/{id}) answer 403 with
+// a JSON body naming primaryURL. Call before serving traffic.
+func (s *Server) SetPrimary(primaryURL string) { s.primary = primaryURL }
+
+// ConfigureReadiness adds a probe to /readyz beyond boot completion:
+// non-nil errors turn into 503 with the error text (e.g. "replication
+// lag 1200 seqs exceeds 100"). Call before serving traffic.
+func (s *Server) ConfigureReadiness(probe func() error) { s.readyProbe = probe }
+
+// HandleRepl mounts h on the /v1/repl/ subtree (the primary's stream/
+// snapshot/status endpoints, or the replica's status endpoint). Call
+// before serving traffic. Replication endpoints are never admission-
+// gated: shedding the stream under load would make replicas fall
+// further behind exactly when read scale-out matters most.
+func (s *Server) HandleRepl(h http.Handler) { s.mux.Handle("/v1/repl/", h) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -189,6 +257,29 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is the load-balancer signal, distinct from /healthz:
+// liveness says "don't restart me", readiness says "route traffic to
+// me". A node recovering its WAL at boot, or a replica lagging beyond
+// its configured bound, is alive but should receive no reads yet.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.booting.Load() {
+		writeError(w, http.StatusServiceUnavailable, "store recovering (boot in progress)")
+		return
+	}
+	if s.readyProbe != nil {
+		if err := s.readyProbe(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {
@@ -278,9 +369,13 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// requireStore answers 404 on the stateful endpoints when the server
-// was built without a store.
+// requireStore answers 503 while boot recovery runs and 404 when the
+// server was built without a store.
 func (s *Server) requireStore(w http.ResponseWriter) bool {
+	if s.booting.Load() {
+		writeError(w, http.StatusServiceUnavailable, "store recovering (boot in progress)")
+		return false
+	}
 	if s.store == nil {
 		writeError(w, http.StatusNotFound, "stateful item API disabled (server runs stateless)")
 		return false
@@ -288,8 +383,21 @@ func (s *Server) requireStore(w http.ResponseWriter) bool {
 	return true
 }
 
+// requireWritable answers 403 on the write endpoints of a read-only
+// replica, naming the primary that does accept writes.
+func (s *Server) requireWritable(w http.ResponseWriter) bool {
+	if s.primary != "" {
+		writeJSON(w, http.StatusForbidden, errorResponse{
+			Error:   "this node is a read-only replica; send writes to the primary",
+			Primary: s.primary,
+		})
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleAppendReviews(w http.ResponseWriter, r *http.Request) {
-	if !s.requireStore(w) {
+	if !s.requireStore(w) || !s.requireWritable(w) {
 		return
 	}
 	var req AppendReviewsRequest
@@ -383,7 +491,7 @@ func (s *Server) handleListItems(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
-	if !s.requireStore(w) {
+	if !s.requireStore(w) || !s.requireWritable(w) {
 		return
 	}
 	id := r.PathValue("id")
@@ -401,9 +509,12 @@ func (s *Server) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{Admission: s.admission.stats()}
-	if s.store != nil {
-		st := s.store.Stats()
+	if store := s.Store(); store != nil {
+		st := store.Stats()
 		resp.Store = &st
+		if err := store.PersistErr(); err != nil {
+			resp.PersistError = err.Error()
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

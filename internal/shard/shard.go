@@ -322,6 +322,24 @@ func (s *ShardedStore) shard(id string) *store.Store {
 // NumShards returns the shard count.
 func (s *ShardedStore) NumShards() int { return len(s.shards) }
 
+// HashSeed returns the item-placement hash seed. A replication
+// follower compares it against the primary's so a replica can never
+// silently apply a shard stream under a different routing function.
+func (s *ShardedStore) HashSeed() uint64 { return s.seed }
+
+// ReplStatus fans out the per-shard replication positions (WAL end,
+// retention horizon, newest snapshot cut). Only durable stores have a
+// position; the error from the first non-durable shard is returned.
+func (s *ShardedStore) ReplStatus() ([]store.ReplStatus, error) {
+	out := make([]store.ReplStatus, len(s.shards))
+	errs := make([]error, len(s.shards))
+	s.fanOut(func(i int) { out[i], errs[i] = s.shards[i].ReplStatus() })
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Shard returns shard i (test/diagnostic access to a partition).
 func (s *ShardedStore) Shard(i int) *store.Store { return s.shards[i] }
 

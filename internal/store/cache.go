@@ -94,6 +94,19 @@ func (c *lruCache) PurgeItem(id string) {
 	}
 }
 
+// PurgeAll empties the cache (used when a replica installs a full
+// snapshot: every cached summary belongs to the replaced corpus).
+func (c *lruCache) PurgeAll() {
+	if c.maxEntries <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.m = make(map[cacheKey]*list.Element)
+	c.bytes = 0
+}
+
 func (c *lruCache) removeElement(el *list.Element) {
 	e := el.Value.(*lruEntry)
 	c.ll.Remove(el)

@@ -288,25 +288,16 @@ func openPersistence(s *Store, cfg Config) error {
 
 // applyWalRecord applies one replayed record. Deletes need no cache
 // work at boot (the cache starts empty), but the shared Delete path is
-// not used because replay must not re-log.
+// not used because replay must not re-log. The same record path runs
+// on read replicas via ApplyReplicated (replica.go).
 func (s *Store) applyWalRecord(rec *walRecord) {
-	switch rec.Op {
-	case opAppend:
-		raws := make([]extract.RawReview, len(rec.Reviews))
-		for i, r := range rec.Reviews {
-			raws[i] = extract.RawReview{ID: r.ID, Text: r.Text, Rating: r.Rating}
-		}
-		annotated := s.pipeline.AnnotateReviews(raws, 0)
-		s.mu.Lock()
-		s.applyAppendLocked(rec.ID, rec.Name, annotated, rec.TS)
-		s.mu.Unlock()
-		s.appends.Add(1)
-	case opDelete:
-		s.mu.Lock()
-		delete(s.items, rec.ID)
-		s.cache.PurgeItem(rec.ID)
-		s.mu.Unlock()
+	var annotated []model.Review
+	if rec.Op == opAppend {
+		annotated = s.pipeline.AnnotateReviews(rawReviews(rec.Reviews), 0)
 	}
+	s.mu.Lock()
+	s.applyRecordLocked(rec, annotated)
+	s.mu.Unlock()
 }
 
 // logAppend writes an append record. Caller holds s.mu.
@@ -343,6 +334,14 @@ func (p *persister) logRecord(rec *walRecord) error {
 			return err
 		}
 	}
+	p.noteLoggedLocked(seq)
+	return nil
+}
+
+// noteLoggedLocked advances the applied position and drives the
+// snapshot cadence after a record reached the log (live ingest or
+// replica apply). Caller holds s.mu.
+func (p *persister) noteLoggedLocked(seq uint64) {
 	p.appliedSeq = seq
 	p.sinceSnap++
 	if p.snapshotEvery > 0 && p.sinceSnap >= p.snapshotEvery {
@@ -352,7 +351,6 @@ func (p *persister) logRecord(rec *walRecord) error {
 		default:
 		}
 	}
-	return nil
 }
 
 // run is the background goroutine: interval fsync and triggered

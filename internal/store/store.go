@@ -106,6 +106,14 @@ type Config struct {
 	// SegmentBytes is the WAL segment rotation threshold
 	// (default wal.DefaultSegmentBytes).
 	SegmentBytes int64
+
+	// Replica opens the store in read-only replica mode: local writes
+	// (AppendReviews, Delete) are rejected with ErrReadOnly and state
+	// advances only through ApplyReplicated / InstallSnapshot, fed by a
+	// replication follower (internal/repl). Works with or without
+	// DataDir; a durable replica persists the shipped records locally
+	// so a restart resumes from its last applied sequence.
+	Replica bool
 }
 
 // Store is the in-memory corpus. All methods are safe for concurrent
@@ -114,6 +122,12 @@ type Store struct {
 	metric   model.Metric
 	pipeline *extract.Pipeline
 	seed     int64
+
+	// replica marks a read-only replica (Config.Replica); replApplied
+	// tracks the last shipped sequence applied by an IN-MEMORY replica
+	// (durable replicas use persist.appliedSeq). Guarded by mu.
+	replica     bool
+	replApplied uint64
 
 	mu      sync.RWMutex
 	items   map[string]*entry
@@ -172,6 +186,7 @@ func New(cfg Config) (*Store, error) {
 		metric:   cfg.Metric,
 		pipeline: cfg.Pipeline,
 		seed:     cfg.Seed,
+		replica:  cfg.Replica,
 		items:    make(map[string]*entry),
 		cache:    newLRU(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
 	}
@@ -223,6 +238,9 @@ func (e *entry) stats() ItemStats {
 func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (ItemStats, error) {
 	if id == "" {
 		return ItemStats{}, errors.New("store: item id must be non-empty")
+	}
+	if s.replica {
+		return ItemStats{}, ErrReadOnly
 	}
 	// The expensive part — tokenization, concept matching, sentiment —
 	// runs outside any lock, touches only the new reviews, and fans out
@@ -350,6 +368,9 @@ func (s *Store) Len() int {
 // the same ID gets a fresh generation, so stale cache entries can
 // never resurface either.
 func (s *Store) Delete(id string) (bool, error) {
+	if s.replica {
+		return false, ErrReadOnly
+	}
 	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()

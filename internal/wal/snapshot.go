@@ -75,20 +75,9 @@ func ReadSnapshot(path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(data) < snapshotHeader || string(data[0:8]) != snapshotMagic {
-		return nil, fmt.Errorf("wal: %s: not a snapshot file", path)
-	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != snapshotVersion {
-		return nil, fmt.Errorf("wal: %s: unsupported snapshot version %d", path, v)
-	}
-	n := binary.LittleEndian.Uint64(data[16:24])
-	if uint64(len(data)-snapshotHeader) != n {
-		return nil, fmt.Errorf("wal: %s: truncated snapshot (%d of %d payload bytes)",
-			path, len(data)-snapshotHeader, n)
-	}
-	payload := data[snapshotHeader:]
-	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[12:16]) {
-		return nil, fmt.Errorf("wal: %s: snapshot checksum mismatch", path)
+	payload, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return payload, nil
 }

@@ -105,6 +105,9 @@ type Log struct {
 	nextSeq  uint64
 	dirty    bool // true if writes happened since the last Sync
 	buf      []byte
+	// notify, when non-nil, is closed (and cleared) by the next Append
+	// so tailing readers can block instead of polling (AppendNotify).
+	notify chan struct{}
 }
 
 // Open scans dir for segment files, validates every record, truncates
@@ -313,6 +316,10 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	last.size += int64(need)
 	l.nextSeq++
 	l.dirty = true
+	if l.notify != nil {
+		close(l.notify)
+		l.notify = nil
+	}
 	return seq, nil
 }
 

@@ -161,6 +161,14 @@ type StoreOptions struct {
 	// WALSegmentBytes is the WAL segment rotation threshold
 	// (default 8 MiB).
 	WALSegmentBytes int64
+
+	// Replica opens the store as a read-only replica: AppendReviews and
+	// Delete fail with store.ErrReadOnly, and state advances only
+	// through a replication follower (internal/repl) applying WAL
+	// records shipped from a primary. Reads and summaries serve
+	// normally. Combine with DataDir so the replica resumes from its
+	// last applied sequence after a restart.
+	Replica bool
 }
 
 // NewStore builds an in-memory stateful corpus sharing this
@@ -202,6 +210,7 @@ func (s *Summarizer) OpenStore(opts StoreOptions) (Store, error) {
 		FsyncInterval:   opts.FsyncInterval,
 		SnapshotEvery:   opts.SnapshotEvery,
 		SegmentBytes:    opts.WALSegmentBytes,
+		Replica:         opts.Replica,
 	}
 	if opts.Shards > 1 {
 		return shard.New(shard.Config{

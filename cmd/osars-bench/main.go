@@ -50,14 +50,27 @@ import (
 
 const benchK = 5
 
-// Result is one benchmark's measurement, serialized to JSON.
+// Result is one benchmark's measurement, serialized to JSON. For
+// concurrent benchmarks, Writers is the goroutine count driving the
+// load and GOMAXPROCS the effective processor limit the benchmark ran
+// at (the multi-writer benches raise a floor of benchProcsFloor, so it
+// can exceed the file-level GOMAXPROCS); both are omitted for
+// single-threaded benchmarks, whose ns/op is a plain per-op latency.
+// For Writers > 1, ns/op is wall-time divided by total ops across all
+// writers — aggregate throughput is 1e9/ns_per_op ops/sec.
 type Result struct {
 	Name        string  `json:"name"`
 	N           int     `json:"n"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	Writers     int     `json:"writers,omitempty"`
+	GOMAXPROCS  int     `json:"gomaxprocs,omitempty"`
 }
+
+// benchProcsFloor is the GOMAXPROCS floor the multi-writer benchmarks
+// run at (see shardMixedBench for why).
+const benchProcsFloor = 4
 
 // File is the BENCH_coldpath.json schema. PrePRBaseline is an
 // optional historical record (the same benchmarks measured on the
@@ -119,45 +132,47 @@ func buildFixture() *fixture {
 	return f
 }
 
+// bench is one registered benchmark: its body plus the writer count
+// recorded into the result metadata (0 = single-threaded).
+type bench struct {
+	name    string
+	writers int
+	fn      func(b *testing.B)
+}
+
 // benches returns the named benchmark bodies, mirroring the
 // BenchmarkCold* set in bench_test.go so `go test -bench Cold` and
 // this harness measure the same code paths.
-func benches(f *fixture) []struct {
-	name string
-	fn   func(b *testing.B)
-} {
+func benches(f *fixture) []bench {
 	g := coverage.Build(f.met, f.items[0], model.GranularitySentences)
 	sel := summarize.Greedy(g, benchK).Selected
-	return []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
-		{"ColdAnnotateItem", func(b *testing.B) {
+	return []bench{
+		{name: "ColdAnnotateItem", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				f.pipe.AnnotateItem("d", "Doc", f.raws[i%len(f.raws)])
 			}
 		}},
-		{"ColdMatcherStemmed", func(b *testing.B) {
+		{name: "ColdMatcherStemmed", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				f.mat.MatchTokens(f.toks[i%len(f.toks)])
 			}
 		}},
-		{"ColdBuildSentences", func(b *testing.B) {
+		{name: "ColdBuildSentences", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				coverage.Build(f.met, f.items[i%len(f.items)], model.GranularitySentences)
 			}
 		}},
-		{"ColdGreedySentences", func(b *testing.B) {
+		{name: "ColdGreedySentences", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				summarize.Greedy(g, benchK)
 			}
 		}},
-		{"ColdCostOf", func(b *testing.B) {
+		{name: "ColdCostOf", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				g.CostOf(sel)
 			}
 		}},
-		{"ColdSummarize", func(b *testing.B) {
+		{name: "ColdSummarize", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				j := i % len(f.raws)
 				item := f.sum.AnnotateItem("d", "Doc", f.raws[j])
@@ -166,13 +181,16 @@ func benches(f *fixture) []struct {
 				}
 			}
 		}},
-		{"StoreAppendMem", storeAppendBench(f, false, store.FsyncNever)},
-		{"StoreAppendWALNoSync", storeAppendBench(f, true, store.FsyncNever)},
-		{"StoreAppendWALSync", storeAppendBench(f, true, store.FsyncAlways)},
-		{"ShardMixed1", shardMixedBench(f, 1)},
-		{"ShardMixed4", shardMixedBench(f, 4)},
-		{"ShardMixed16", shardMixedBench(f, 16)},
-		{"ReplTail", replTailBench()},
+		{name: "StoreAppendMem", fn: storeAppendBench(f, false, store.FsyncNever)},
+		{name: "StoreAppendWALNoSync", fn: storeAppendBench(f, true, store.FsyncNever)},
+		{name: "StoreAppendWALSync", fn: storeAppendBench(f, true, store.FsyncAlways)},
+		{name: "ShardMixed1", writers: 16, fn: shardMixedBench(f, 1)},
+		{name: "ShardMixed4", writers: 16, fn: shardMixedBench(f, 4)},
+		{name: "ShardMixed16", writers: 16, fn: shardMixedBench(f, 16)},
+		{name: "GroupCommitSync1", writers: 1, fn: groupCommitBench(f, 1)},
+		{name: "GroupCommitSync4", writers: 4, fn: groupCommitBench(f, 4)},
+		{name: "GroupCommitSync16", writers: 16, fn: groupCommitBench(f, 16)},
+		{name: "ReplTail", fn: replTailBench()},
 	}
 }
 
@@ -294,6 +312,93 @@ func storeAppendBench(f *fixture, durable bool, fsync store.FsyncPolicy) func(b 
 	}
 }
 
+// groupCommitBench measures aggregate fsync-per-ack ingestion
+// throughput at W concurrent writers against ONE unsharded durable
+// store — the group-commit payoff in isolation, with no sharding and
+// no summary reads mixed in. Every append must be durable before it is
+// acknowledged (FsyncAlways); without group commit the W writers would
+// serialize W fsyncs per W acks, so ns/op would be flat in W. With the
+// commit queue, concurrent writers stage their pre-encoded records and
+// share one WAL write + one fsync per batch, so aggregate ns/op (wall
+// time over total ops) should drop toward 1/W of the single-writer
+// number until the disk's sync latency floors it. GroupCommitSync1 is
+// the no-concurrency control: one writer never has anyone to share a
+// sync with, so it measures the queue's overhead over the serial path
+// (compare StoreAppendWALSync). The acceptance gate for this PR is
+// GroupCommitSync16 throughput ≥ 5× the serial single-writer baseline.
+// Item pools and delete-recycling mirror storeAppendBench so the live
+// heap stays bounded; each writer owns a private id pool, so the only
+// shared state is the store itself.
+func groupCommitBench(f *fixture, writers int) func(b *testing.B) {
+	const (
+		perWriter = 64 // ids per writer pool
+		perItem   = 16 // appends per item between recycles
+	)
+	return func(b *testing.B) {
+		if writers > 1 {
+			// Same GOMAXPROCS floor as shardMixedBench: with fewer Ps
+			// than concurrently-returning fsyncs, scheduler handoff
+			// dominates the measurement.
+			if procs := runtime.GOMAXPROCS(0); procs < benchProcsFloor {
+				runtime.GOMAXPROCS(benchProcsFloor)
+				defer runtime.GOMAXPROCS(procs)
+			}
+		}
+		dir, err := os.MkdirTemp("", "osars-bench-groupcommit-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.New(store.Config{
+			Metric:        f.met,
+			Pipeline:      f.pipe,
+			SnapshotEvery: -1,
+			DataDir:       dir,
+			Fsync:         store.FsyncAlways,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		rev := f.raws[0][:1]
+		var (
+			next     atomic.Int64
+			errOnce  sync.Once
+			firstErr error
+			wg       sync.WaitGroup
+		)
+		fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+		b.ResetTimer()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for n := 0; ; n++ {
+					if int(next.Add(1)) > b.N {
+						return
+					}
+					id := fmt.Sprintf("item-%d-%d", w, (n/perItem)%perWriter)
+					if n%perItem == 0 {
+						if _, err := st.Delete(id); err != nil {
+							fail(err)
+							return
+						}
+					}
+					if _, err := st.AppendReviews(id, "", rev); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		b.StopTimer()
+		if firstErr != nil {
+			b.Fatal(firstErr)
+		}
+	}
+}
+
 // shardMixedBench measures the durable serving path under concurrent
 // mixed load — the workload the sharded store exists for — at a given
 // shard count. 16 writer goroutines model 16 partitioned ingest
@@ -330,8 +435,8 @@ func shardMixedBench(f *fixture, shards int) func(b *testing.B) {
 		// the 1-shard and N-shard configurations get the same setting
 		// (the serial chain is insensitive to it — one op is in flight
 		// at a time), and hardware cores still bound CPU parallelism.
-		if procs := runtime.GOMAXPROCS(0); procs < 4 {
-			runtime.GOMAXPROCS(4)
+		if procs := runtime.GOMAXPROCS(0); procs < benchProcsFloor {
+			runtime.GOMAXPROCS(benchProcsFloor)
 			defer runtime.GOMAXPROCS(procs)
 		}
 		dir, err := os.MkdirTemp("", "osars-bench-shard-")
@@ -461,6 +566,13 @@ func runMode(out string, short bool, only string) error {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+			Writers:     bm.writers,
+		}
+		if bm.writers > 0 {
+			res.GOMAXPROCS = runtime.GOMAXPROCS(0)
+			if bm.writers > 1 && res.GOMAXPROCS < benchProcsFloor {
+				res.GOMAXPROCS = benchProcsFloor
+			}
 		}
 		file.Benchmarks = append(file.Benchmarks, res)
 		fmt.Printf("%-22s %10d iters  %12.0f ns/op  %8d B/op  %6d allocs/op\n",

@@ -15,6 +15,13 @@
 // lock or the same log file, so ingestion throughput and fsync latency
 // scale with the shard count.
 //
+// Durable shards also each own an independent group-commit queue
+// (store/commit.go): writers hitting the same shard batch into one WAL
+// append + one fsync, and because every shard has its own committer,
+// the per-shard group commits overlap in the kernel — the two scaling
+// axes compose (shards spread the load, group commit amortizes the
+// fsyncs within each shard).
+//
 // Single-item operations (AppendReviews, Item, Summary, Delete) route
 // to exactly one shard. Corpus-wide operations (List, Len, Stats) do a
 // bounded parallel fan-out and a deterministic k-way merge by item ID,

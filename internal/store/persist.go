@@ -18,7 +18,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"osars/internal/extract"
 	"osars/internal/model"
 	"osars/internal/wal"
 )
@@ -164,6 +163,18 @@ type persister struct {
 	sinceSnap   int
 	lastSnapSeq uint64
 
+	// q is the group-commit queue for local durable writes
+	// (commit.go). Replica stores never stage anything on it — shipped
+	// records go through ApplyReplicated instead.
+	q commitQueue
+	// payloads is leader-only scratch for commitBatch (at most one
+	// leader runs at a time, so no lock is needed).
+	payloads [][]byte
+	// testCommitHook, when set before traffic starts, runs at the
+	// commit kill points (commitStage); crash tests use it to copy the
+	// data directory mid-commit.
+	testCommitHook func(commitStage)
+
 	// snapMu serializes snapshot writes (timer-triggered vs Close).
 	snapMu sync.Mutex
 
@@ -202,6 +213,7 @@ func openPersistence(s *Store, cfg Config) error {
 		snapCh:        make(chan struct{}, 1),
 		closeCh:       make(chan struct{}),
 	}
+	p.q.init()
 
 	// 1. Latest readable snapshot (corrupt ones are skipped
 	// newest-first inside LoadLatestSnapshot).
@@ -300,46 +312,8 @@ func (s *Store) applyWalRecord(rec *walRecord) {
 	s.mu.Unlock()
 }
 
-// logAppend writes an append record. Caller holds s.mu.
-func (p *persister) logAppend(id, name string, ts time.Time, reviews []extract.RawReview) error {
-	rec := walRecord{Op: opAppend, ID: id, Name: name, TS: ts}
-	if len(reviews) > 0 {
-		rec.Reviews = make([]walReview, len(reviews))
-		for i, r := range reviews {
-			rec.Reviews[i] = walReview{ID: r.ID, Text: r.Text, Rating: r.Rating}
-		}
-	}
-	return p.logRecord(&rec)
-}
-
-// logDelete writes a delete record. Caller holds s.mu.
-func (p *persister) logDelete(id string, ts time.Time) error {
-	return p.logRecord(&walRecord{Op: opDelete, ID: id, TS: ts})
-}
-
-// logRecord appends one record to the WAL and, under FsyncAlways,
-// forces it to stable storage before returning. Caller holds s.mu, so
-// sequence order equals apply order.
-func (p *persister) logRecord(rec *walRecord) error {
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	seq, err := p.log.Append(payload)
-	if err != nil {
-		return err
-	}
-	if p.policy == FsyncAlways {
-		if err := p.log.Sync(); err != nil {
-			return err
-		}
-	}
-	p.noteLoggedLocked(seq)
-	return nil
-}
-
 // noteLoggedLocked advances the applied position and drives the
-// snapshot cadence after a record reached the log (live ingest or
+// snapshot cadence after a record reached the log (group commit or
 // replica apply). Caller holds s.mu.
 func (p *persister) noteLoggedLocked(seq uint64) {
 	p.appliedSeq = seq
@@ -483,15 +457,18 @@ func (s *Store) PersistErr() error {
 	return nil
 }
 
-// Close flushes the WAL, writes a final snapshot (if anything changed
-// since the last one) and releases the log. The store must not be
-// used afterwards; Close on an in-memory store is a no-op. Safe to
-// call more than once.
+// Close drains the commit queue, flushes the WAL, writes a final
+// snapshot (if anything changed since the last one) and releases the
+// log. The store must not be used afterwards; Close on an in-memory
+// store is a no-op. Safe to call more than once.
 func (s *Store) Close() error {
 	p := s.persist
 	if p == nil || !p.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	// Let every staged write commit (and refuse new ones) before the
+	// log is flushed and closed.
+	p.q.close()
 	close(p.closeCh)
 	p.wg.Wait()
 	var firstErr error

@@ -234,7 +234,12 @@ func (e *entry) stats() ItemStats {
 // On a durable store the raw reviews are appended to the write-ahead
 // log (and, under FsyncAlways, forced to stable storage) BEFORE the
 // in-memory state changes and the call returns — an acknowledged
-// append survives a crash.
+// append survives a crash. Durable writes go through the store's
+// group-commit queue (commit.go): the record is JSON-encoded outside
+// any lock, staged, and a leader writer batches it with concurrent
+// writes into one WAL append and one fsync — so N concurrent writers
+// share a fsync instead of serializing N of them, while WAL order
+// still equals apply order.
 func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (ItemStats, error) {
 	if id == "" {
 		return ItemStats{}, errors.New("store: item id must be non-empty")
@@ -249,21 +254,19 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 	annotated := s.pipeline.AnnotateReviews(reviews, 0)
 
 	now := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// State-changing? Appending nothing to an existing item without a
-	// rename is a no-op and must not reach the log.
-	if e, ok := s.items[id]; ok && len(annotated) == 0 && (name == "" || name == e.item.Name) {
-		return e.stats(), nil
-	}
 	if s.persist != nil {
-		// Log-before-ack: the WAL append (and its fsync under
-		// FsyncAlways) happens inside the same critical section that
-		// applies the change, so log order always equals apply order
-		// and a replayed log reconstructs the exact same state.
-		if err := s.persist.logAppend(id, name, now, reviews); err != nil {
+		stats, err := s.persist.commitAppend(id, name, now, reviews, annotated)
+		if err != nil {
 			return ItemStats{}, fmt.Errorf("store: wal append: %w", err)
 		}
+		return stats, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Appending nothing to an existing item without a rename is a
+	// no-op on the generation.
+	if e, ok := s.items[id]; ok && len(annotated) == 0 && (name == "" || name == e.item.Name) {
+		return e.stats(), nil
 	}
 	stats := s.applyAppendLocked(id, name, annotated, now)
 	s.appends.Add(1)
@@ -372,16 +375,17 @@ func (s *Store) Delete(id string) (bool, error) {
 		return false, ErrReadOnly
 	}
 	now := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.items[id]
-	if !ok {
-		return false, nil
-	}
 	if s.persist != nil {
-		if err := s.persist.logDelete(id, now); err != nil {
+		existed, err := s.persist.commitDelete(id, now)
+		if err != nil {
 			return false, fmt.Errorf("store: wal delete: %w", err)
 		}
+		return existed, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[id]; !ok {
+		return false, nil
 	}
 	delete(s.items, id)
 	s.cache.PurgeItem(id)

@@ -1,0 +1,316 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readSegments concatenates every segment file of dir in seq order —
+// the full on-disk byte image of the log.
+func readSegments(t *testing.T, dir string) []byte {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, data...)
+	}
+	return out
+}
+
+// TestAppendBatchRoundTrip: a batch replays as N contiguous records
+// and reopens cleanly.
+func TestAppendBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payloads(12)
+	first, err := l.AppendBatch(want[:7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("first batch starts at seq %d, want 1", first)
+	}
+	first, err = l.AppendBatch(want[7:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 8 {
+		t.Fatalf("second batch starts at seq %d, want 8", first)
+	}
+	if next := l.NextSeq(); next != 13 {
+		t.Fatalf("NextSeq = %d, want 13", next)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, l, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.Records != 12 || info.FirstSeq != 1 || info.LastSeq != 12 {
+		t.Fatalf("reopen recovery info = %+v", info)
+	}
+}
+
+// TestAppendBatchByteIdenticalToSingleAppends: the on-disk frame bytes
+// of one AppendBatch equal those of N single Appends — batching is a
+// pure write-amplification optimization, not a format change.
+func TestAppendBatchByteIdenticalToSingleAppends(t *testing.T) {
+	want := payloads(30)
+	single := t.TempDir()
+	ls, _, err := Open(single, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range want {
+		if _, err := ls.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	batched := t.TempDir()
+	lb, _, err := Open(batched, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(want); i += 5 {
+		if _, err := lb.AppendBatch(want[i : i+5]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if s, b := readSegments(t, single), readSegments(t, batched); !bytes.Equal(s, b) {
+		t.Fatalf("batched log bytes differ from single-append log: %d vs %d bytes", len(s), len(b))
+	}
+}
+
+// TestAppendBatchRotation: a batch that would overflow the active
+// segment rotates first and lands whole in the fresh segment.
+func TestAppendBatchRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	big := bytes.Repeat([]byte{'a'}, 100)
+	if _, err := l.Append(big); err != nil { // ~116 bytes in segment 1
+		t.Fatal(err)
+	}
+	batch := [][]byte{big, big, big} // ~348 bytes: over budget, must rotate
+	first, err := l.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 {
+		t.Fatalf("batch first seq = %d, want 2", first)
+	}
+	if got := l.Segments(); got != 2 {
+		t.Fatalf("segments = %d, want 2 (batch rotated into a fresh one)", got)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs[1].firstSeq != 2 {
+		t.Fatalf("fresh segment starts at seq %d, want 2", segs[1].firstSeq)
+	}
+	if got := collect(t, l, 0); len(got) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(got))
+	}
+}
+
+// TestAppendBatchEmptyAndOversized: an empty batch is a no-op; any
+// oversized payload rejects the whole batch before any byte is
+// written.
+func TestAppendBatchEmptyAndOversized(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if seq, err := l.AppendBatch(nil); err != nil || seq != 1 {
+		t.Fatalf("empty batch = (%d, %v), want (1, nil)", seq, err)
+	}
+	huge := make([]byte, MaxRecordBytes+1)
+	if _, err := l.AppendBatch([][]byte{[]byte("ok"), huge}); err == nil {
+		t.Fatal("oversized record inside a batch was accepted")
+	}
+	if next := l.NextSeq(); next != 1 {
+		t.Fatalf("rejected batch advanced NextSeq to %d", next)
+	}
+	if got := collect(t, l, 0); len(got) != 0 {
+		t.Fatalf("rejected batch left %d records", len(got))
+	}
+}
+
+// TestAppendBatchSingleNotify: one batch fires the append notification
+// exactly once — a tailing replica wakes per batch, not per record —
+// and the next notification channel stays open until the next append.
+func TestAppendBatchSingleNotify(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ch := l.AppendNotify()
+	if _, err := l.AppendBatch(payloads(8)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("notify channel not closed by AppendBatch")
+	}
+	// The batch must not have armed-and-fired more than once: a fresh
+	// channel stays open until the next append.
+	ch2 := l.AppendNotify()
+	select {
+	case <-ch2:
+		t.Fatal("fresh notify channel closed with no append")
+	default:
+	}
+	if _, err := l.AppendBatch(payloads(3)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("notify channel not closed by the second batch")
+	}
+}
+
+// TestTornBatchTailEveryOffset cuts a log whose tail is one multi-
+// record batch at every byte offset inside that batch: recovery must
+// truncate at a frame boundary, keep the clean record prefix, and
+// leave the log appendable.
+func TestTornBatchTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	l, _, err := Open(master, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := payloads(4) // fully synced prefix
+	for _, p := range acked {
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(master)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v (err %v)", segs, err)
+	}
+	ackedBytes := segs[0].size
+
+	batch := payloads(6) // the in-flight, never-synced batch
+	if _, err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segName := filepath.Base(segs[0].path)
+
+	for cut := ackedBytes; cut <= int64(len(data)); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, info, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		if info.Records < len(acked) || info.Records > len(acked)+len(batch) {
+			t.Fatalf("cut=%d: recovered %d records, want within [%d, %d]",
+				cut, info.Records, len(acked), len(acked)+len(batch))
+		}
+		got := collect(t, l2, 0)
+		for i, p := range got {
+			var want []byte
+			if i < len(acked) {
+				want = acked[i]
+			} else {
+				want = batch[i-len(acked)]
+			}
+			if !bytes.Equal(p, want) {
+				t.Fatalf("cut=%d: record %d = %q, want %q (prefix not clean)", cut, i, p, want)
+			}
+		}
+		// The log must remain appendable at the truncation point.
+		seq, err := l2.Append([]byte("resume"))
+		if err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		if seq != uint64(info.Records)+1 {
+			t.Fatalf("cut=%d: resume seq = %d, want %d", cut, seq, info.Records+1)
+		}
+		l2.Close()
+	}
+}
+
+// TestAppendBufGrowsGeometrically: a sequence of ever-larger records
+// must reallocate the frame buffer O(log n) times, not once per
+// record. (The regression this pins: exact-fit growth made every
+// larger record a fresh allocation.)
+func TestAppendBufGrowsGeometrically(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	reallocs := 0
+	lastCap := cap(l.buf)
+	for size := 1; size <= 1<<16; size += 97 {
+		if _, err := l.Append(make([]byte, size)); err != nil {
+			t.Fatal(err)
+		}
+		if c := cap(l.buf); c != lastCap {
+			reallocs++
+			lastCap = c
+		}
+	}
+	if reallocs > 8 {
+		t.Fatalf("frame buffer reallocated %d times over a rising-size sequence, want ≤ 8 (geometric growth)", reallocs)
+	}
+}

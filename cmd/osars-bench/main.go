@@ -40,6 +40,7 @@ import (
 	"osars/internal/dataset"
 	"osars/internal/extract"
 	"osars/internal/model"
+	"osars/internal/obs"
 	"osars/internal/sentiment"
 	"osars/internal/shard"
 	"osars/internal/store"
@@ -187,10 +188,81 @@ func benches(f *fixture) []bench {
 		{name: "ShardMixed1", writers: 16, fn: shardMixedBench(f, 1)},
 		{name: "ShardMixed4", writers: 16, fn: shardMixedBench(f, 4)},
 		{name: "ShardMixed16", writers: 16, fn: shardMixedBench(f, 16)},
-		{name: "GroupCommitSync1", writers: 1, fn: groupCommitBench(f, 1)},
-		{name: "GroupCommitSync4", writers: 4, fn: groupCommitBench(f, 4)},
-		{name: "GroupCommitSync16", writers: 16, fn: groupCommitBench(f, 16)},
+		{name: "GroupCommitSync1", writers: 1, fn: groupCommitBench(f, 1, false)},
+		{name: "GroupCommitSync4", writers: 4, fn: groupCommitBench(f, 4, false)},
+		{name: "GroupCommitSync16", writers: 16, fn: groupCommitBench(f, 16, false)},
+		{name: "GroupCommitSync16Obs", writers: 16, fn: groupCommitBench(f, 16, true)},
 		{name: "ReplTail", fn: replTailBench()},
+		{name: "ObsHistogramObserve", fn: obsObserveBench()},
+		{name: "ColdStoreSummarize", fn: coldStoreSummarizeBench(f, false)},
+		{name: "ColdStoreSummarizeObs", fn: coldStoreSummarizeBench(f, true)},
+	}
+}
+
+// obsObserveBench measures the metrics hot path in isolation: one
+// Histogram.Observe per op over a typical request-latency mix (mostly
+// sub-5ms with a slow tail). The observability acceptance bar is
+// < 20ns/op and — asserted in CI — exactly 0 allocs/op: an instrument
+// cheap enough to leave on unconditionally in every layer.
+func obsObserveBench() func(b *testing.B) {
+	vals := [...]float64{0.0002, 0.0004, 0.0008, 0.003, 0.0006, 0.0011, 0.0003, 0.02}
+	return func(b *testing.B) {
+		reg := obs.NewRegistry()
+		h := reg.Histogram("bench_seconds", "bench", nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(vals[i%len(vals)])
+		}
+	}
+}
+
+// coldStoreSummarizeBench measures the stateful cold-summary serving
+// path — append one review (generation bump), then a cache-missing
+// Summary solve — with instrumentation off and on. The pair records
+// the observability tax on the solve path in BENCH_coldpath.json; it
+// should be lost in the noise (a handful of Observe calls against a
+// solve measured in hundreds of microseconds). Pool recycling mirrors
+// storeAppendBench so the live corpus stays bounded.
+func coldStoreSummarizeBench(f *fixture, instrumented bool) func(b *testing.B) {
+	const (
+		pool    = 64
+		perItem = 16
+	)
+	return func(b *testing.B) {
+		cfg := store.Config{
+			Metric:        f.met,
+			Pipeline:      f.pipe,
+			SnapshotEvery: -1,
+		}
+		if instrumented {
+			cfg.Obs = obs.NewRegistry()
+		}
+		st, err := store.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		ids := make([]string, pool)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("item-%d", i)
+		}
+		rev := f.raws[0][:1]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := ids[(i/perItem)%pool]
+			if i%perItem == 0 {
+				if _, err := st.Delete(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := st.AppendReviews(id, "", rev); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := st.Summary(id, benchK, model.GranularitySentences, store.MethodGreedy); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
 	}
 }
 
@@ -328,8 +400,11 @@ func storeAppendBench(f *fixture, durable bool, fsync store.FsyncPolicy) func(b 
 // GroupCommitSync16 throughput ≥ 5× the serial single-writer baseline.
 // Item pools and delete-recycling mirror storeAppendBench so the live
 // heap stays bounded; each writer owns a private id pool, so the only
-// shared state is the store itself.
-func groupCommitBench(f *fixture, writers int) func(b *testing.B) {
+// shared state is the store itself. instrumented additionally arms a
+// metric registry on the store: GroupCommitSync16 vs
+// GroupCommitSync16Obs records the observability tax on the hottest
+// contended path (a few atomic Observes per commit batch).
+func groupCommitBench(f *fixture, writers int, instrumented bool) func(b *testing.B) {
 	const (
 		perWriter = 64 // ids per writer pool
 		perItem   = 16 // appends per item between recycles
@@ -349,13 +424,17 @@ func groupCommitBench(f *fixture, writers int) func(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer os.RemoveAll(dir)
-		st, err := store.New(store.Config{
+		cfg := store.Config{
 			Metric:        f.met,
 			Pipeline:      f.pipe,
 			SnapshotEvery: -1,
 			DataDir:       dir,
 			Fsync:         store.FsyncAlways,
-		})
+		}
+		if instrumented {
+			cfg.Obs = obs.NewRegistry()
+		}
+		st, err := store.New(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

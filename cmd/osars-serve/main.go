@@ -72,6 +72,16 @@
 //
 //	osars-serve -addr :8080 -pprof localhost:6060
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
+// Monitoring: -metrics exposes Prometheus text metrics on GET /metrics
+// (on the main listener, and on the -pprof listener too when one is
+// configured) covering every layer: HTTP routes, admission control,
+// store/cache, WAL and replication. The endpoint is never admission-
+// or boot-gated. -slow-request-threshold additionally logs one
+// structured line per request over the threshold:
+//
+//	osars-serve -addr :8080 -metrics -slow-request-threshold 500ms
+//	curl -s localhost:8080/metrics | grep osars_http
 package main
 
 import (
@@ -119,6 +129,8 @@ func main() {
 		role         = flag.String("role", "primary", "replication role: primary (serves WAL streams under /v1/repl/ when durable) or replica (read-only, follows -follow)")
 		follow       = flag.String("follow", "", "replica mode: base URL of the primary to follow, e.g. http://primary:8080")
 		maxLagReady  = flag.Uint64("max-lag-for-ready", 1024, "replica readiness: /readyz answers 503 while the worst per-shard replication lag exceeds this many WAL records")
+		metricsOn    = flag.Bool("metrics", false, "expose Prometheus text metrics on GET /metrics (and on the -pprof listener when set)")
+		slowThresh   = flag.Duration("slow-request-threshold", 0, "log one structured line per request at least this slow (method, route, status, duration, queue wait, shard); 0 disables")
 	)
 	flag.Parse()
 
@@ -168,6 +180,13 @@ func main() {
 	if *stateless && *dataDir != "" {
 		log.Fatalf("osars-serve: -data-dir requires the stateful store (drop -stateless)")
 	}
+	// One registry for the whole process: the HTTP layer, admission,
+	// every store shard, the WAL and the replication follower all
+	// register into it, so a single scrape covers the full stack.
+	var reg *osars.MetricsRegistry
+	if *metricsOn {
+		reg = osars.NewMetricsRegistry()
+	}
 	if *pprofAddr != "" {
 		// A dedicated mux on a dedicated listener: the profiling
 		// endpoints never share a port (or a handler tree) with the
@@ -178,6 +197,12 @@ func main() {
 		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if reg != nil {
+			// Metrics ride on the ops listener too: a scraper pointed at
+			// the loopback pprof port works even if the public port is
+			// firewalled away from the monitoring network.
+			pm.Handle("GET /metrics", reg.Handler())
+		}
 		go func() {
 			psrv := &http.Server{
 				Addr:              *pprofAddr,
@@ -207,6 +232,12 @@ func main() {
 			MaxInflightSolves: *maxSolves,
 			MaxInflightReads:  *maxReads,
 			QueueWait:         *queueWait,
+		})
+	}
+	if reg != nil || *slowThresh > 0 {
+		h.ConfigureObservability(server.ObservabilityConfig{
+			Metrics:              reg,
+			SlowRequestThreshold: *slowThresh,
 		})
 	}
 	var (
@@ -271,6 +302,7 @@ func main() {
 			SnapshotEvery:   *snapEvery,
 			WALSegmentBytes: *segBytes,
 			Replica:         *role == "replica",
+			Metrics:         reg,
 		})
 		if err != nil {
 			log.Fatalf("osars-serve: open store: %v", err)
@@ -302,6 +334,7 @@ func main() {
 				PrimaryURL: *follow,
 				Target:     tgt,
 				Logf:       log.Printf,
+				Obs:        reg,
 			})
 			if err != nil {
 				log.Fatalf("osars-serve: %v", err)
@@ -322,6 +355,12 @@ func main() {
 	}
 	if *maxSolves > 0 {
 		mode += fmt.Sprintf(", admission %d solves/queue-wait %v", *maxSolves, *queueWait)
+	}
+	if reg != nil {
+		mode += ", metrics on /metrics"
+	}
+	if *slowThresh > 0 {
+		mode += fmt.Sprintf(", slow-log ≥%v", *slowThresh)
 	}
 	switch {
 	case *role == "replica":

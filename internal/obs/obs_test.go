@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGoldenExposition pins the exposition format byte-for-byte:
+// HELP/TYPE lines, sorted families and children, the cumulative
+// _bucket/_sum/_count triple, and label-value escaping.
+func TestGoldenExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("osars_test_events_total", "Total events.").Add(42)
+
+	gv := reg.GaugeVec("osars_test_temperature", "Current temperature.", "room")
+	gv.With("kitchen").Set(-3)
+	gv.With("lab\"A\"\\\nx").Set(7) // exercises ", \ and newline escaping
+
+	hv := reg.HistogramVec("osars_test_latency_seconds", "Latency.", []float64{0.25, 0.5, 1}, "route")
+	h := hv.With("/v1/items/{id}")
+	for _, v := range []float64{0.25, 0.5, 0.5, 2} { // exact in binary: stable _sum
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s\n--- want (%s) ---\n%s", buf.Bytes(), golden, want)
+	}
+}
+
+// TestHistogramBuckets checks bucket assignment semantics: v <= upper
+// lands in the bucket, boundaries inclusive, overflow in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "", []float64{1, 2})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3} {
+		h.Observe(v)
+	}
+	got := []uint64{h.counts[0].Load(), h.counts[1].Load(), h.counts[2].Load()}
+	if got[0] != 2 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("bucket counts = %v, want [2 2 1]", got)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 8 {
+		t.Fatalf("Sum = %g, want 8", h.Sum())
+	}
+}
+
+// TestNilSafety: a nil registry hands out nil instruments and every
+// instrument method on a nil receiver is a no-op. This is the
+// contract that lets call sites instrument unconditionally.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h", "", nil)
+	cv := reg.CounterVec("cv", "", "l")
+	gv := reg.GaugeVec("gv", "", "l")
+	hv := reg.HistogramVec("hv", "", nil, "l")
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(3)
+	h.ObserveSince(time.Now())
+	cv.With("x").Inc()
+	gv.With("x").Set(2)
+	hv.With("x").Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var sl *SlowLog
+	sl.Record("GET", "/x", 200, time.Second, 0, -1) // must not panic
+}
+
+// TestRegistryIdempotentAndConflicts: same name+type returns the same
+// underlying instrument; a type conflict panics.
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("osars_x_total", "")
+	b := reg.Counter("osars_x_total", "")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("re-registration must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type conflict")
+		}
+	}()
+	reg.Gauge("osars_x_total", "")
+}
+
+// TestObserveZeroAllocs is the hard gate on the hot path: a histogram
+// Observe (and counter Inc) must not allocate.
+func TestObserveZeroAllocs(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.HistogramVec("h", "", DefBuckets, "route").With("/v1/items")
+	c := reg.CounterVec("c", "", "route").With("/v1/items")
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per op, want 0", n)
+	}
+}
+
+// TestConcurrentObserveWhileScraping hammers ONE histogram from 16
+// goroutines while a scraper renders the registry the whole time
+// (run under -race in CI). Afterwards the histogram must account for
+// every observation exactly once.
+func TestConcurrentObserveWhileScraping(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 5000
+	)
+	reg := NewRegistry()
+	h := reg.Histogram("osars_race_seconds", "", DefBuckets)
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if !strings.Contains(buf.String(), "osars_race_seconds_count") {
+				t.Error("scrape missing histogram count")
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*perG+i) * 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestSlowLogThresholdAndFormat checks gating and the one-line logfmt
+// shape.
+func TestSlowLogThresholdAndFormat(t *testing.T) {
+	var lines []string
+	reg := NewRegistry()
+	sl := &SlowLog{
+		Threshold: 10 * time.Millisecond,
+		Logf:      func(f string, a ...any) { lines = append(lines, fmt.Sprintf(f, a...)) },
+		Slow:      reg.Counter("slow_total", ""),
+	}
+	sl.Record("GET", "/v1/items/{id}/summary", 200, 5*time.Millisecond, 0, 2) // under threshold
+	sl.Record("PUT", "/v1/items/{id}/reviews", 429, 150*time.Millisecond, 120*time.Millisecond, 3)
+	if len(lines) != 1 {
+		t.Fatalf("lines = %v, want exactly one", lines)
+	}
+	want := "slow-request method=PUT route=/v1/items/{id}/reviews status=429 duration=150.0ms queue_wait=120.0ms shard=3"
+	if lines[0] != want {
+		t.Fatalf("line = %q, want %q", lines[0], want)
+	}
+	if sl.Slow.Value() != 1 {
+		t.Fatalf("slow counter = %d, want 1", sl.Slow.Value())
+	}
+}

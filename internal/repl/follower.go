@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"osars/internal/obs"
 	"osars/internal/wal"
 )
 
@@ -53,6 +54,66 @@ type FollowerConfig struct {
 	Wait time.Duration
 	// Logf, when non-nil, receives follower lifecycle messages.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, registers per-shard replication instruments
+	// (applied-seq, lag and state gauges, shipped frames/bytes and
+	// backoff counters) in this registry.
+	Obs *obs.Registry
+}
+
+// shardReplMetrics is one shard's interned replication instruments
+// (all nil when FollowerConfig.Obs is nil — every call no-ops).
+type shardReplMetrics struct {
+	applied  *obs.Gauge
+	lag      *obs.Gauge
+	state    *obs.Gauge
+	frames   *obs.Counter
+	bytes    *obs.Counter
+	backoffs *obs.Counter
+}
+
+// stateCode maps follower states to the osars_repl_state gauge value.
+func stateCode(state string) int64 {
+	switch state {
+	case StateTailing:
+		return 1
+	case StateBootstrapping:
+		return 2
+	default: // StateConnecting
+		return 0
+	}
+}
+
+// newReplMetrics interns every shard's instruments up front so the
+// apply loop never touches the registry.
+func newReplMetrics(reg *obs.Registry, shards int) []shardReplMetrics {
+	ms := make([]shardReplMetrics, shards)
+	if reg == nil {
+		return ms
+	}
+	applied := reg.GaugeVec("osars_repl_applied_seq",
+		"Newest primary WAL sequence applied locally, per shard.", "shard")
+	lag := reg.GaugeVec("osars_repl_lag_seqs",
+		"Sequences behind the primary at last contact (-1 before the first successful contact).", "shard")
+	state := reg.GaugeVec("osars_repl_state",
+		"Catch-up state: 0=connecting, 1=tailing, 2=bootstrapping.", "shard")
+	frames := reg.CounterVec("osars_repl_frames_applied_total",
+		"WAL frames applied since the follower started (a bootstrap snapshot counts as one).", "shard")
+	bytes := reg.CounterVec("osars_repl_shipped_bytes_total",
+		"Bytes shipped from the primary and applied locally.", "shard")
+	backoffs := reg.CounterVec("osars_repl_backoffs_total",
+		"Reconnect backoffs (stream or handshake failures).", "shard")
+	for i := range ms {
+		sh := strconv.Itoa(i)
+		ms[i] = shardReplMetrics{
+			applied:  applied.With(sh),
+			lag:      lag.With(sh),
+			state:    state.With(sh),
+			frames:   frames.With(sh),
+			bytes:    bytes.With(sh),
+			backoffs: backoffs.With(sh),
+		}
+	}
+	return ms
 }
 
 // ShardLag is one shard's replication position as seen by the
@@ -90,6 +151,12 @@ type Follower struct {
 
 	mu   sync.Mutex
 	lags []ShardLag
+
+	// metrics has one entry per shard (zero-valued, hence no-op, when
+	// no registry was configured). Gauges are synced inside update so
+	// every lag mutation is reflected; counters advance by the delta
+	// the mutation produced.
+	metrics []shardReplMetrics
 }
 
 // StartFollower validates the primary handshake asynchronously and
@@ -110,14 +177,16 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Follower{
-		cfg:    cfg,
-		client: client,
-		base:   base,
-		cancel: cancel,
-		lags:   make([]ShardLag, cfg.Target.NumShards()),
+		cfg:     cfg,
+		client:  client,
+		base:    base,
+		cancel:  cancel,
+		lags:    make([]ShardLag, cfg.Target.NumShards()),
+		metrics: newReplMetrics(cfg.Obs, cfg.Target.NumShards()),
 	}
 	for i := range f.lags {
 		f.lags[i] = ShardLag{Shard: i, State: StateConnecting, LagSeqs: math.MaxUint64}
+		f.metrics[i].lag.Set(-1)
 	}
 	for i := 0; i < cfg.Target.NumShards(); i++ {
 		f.wg.Add(1)
@@ -163,10 +232,29 @@ func (f *Follower) logf(format string, args ...any) {
 	}
 }
 
+// update mutates one shard's lag under the lock and mirrors the
+// result into that shard's gauges/counters, so the metrics can never
+// drift from what /v1/repl/status reports.
 func (f *Follower) update(shard int, fn func(*ShardLag)) {
 	f.mu.Lock()
-	fn(&f.lags[shard])
+	l := &f.lags[shard]
+	prevFrames, prevBytes := l.FramesApplied, l.BytesApplied
+	fn(l)
+	snap := *l
 	f.mu.Unlock()
+
+	m := &f.metrics[shard]
+	m.applied.Set(int64(snap.AppliedSeq))
+	m.state.Set(stateCode(snap.State))
+	if snap.LagSeqs == math.MaxUint64 {
+		m.lag.Set(-1) // no contact yet: lag unknown, not zero
+	} else {
+		m.lag.Set(int64(snap.LagSeqs))
+	}
+	m.frames.Add(snap.FramesApplied - prevFrames)
+	if d := snap.BytesApplied - prevBytes; d > 0 {
+		m.bytes.Add(uint64(d))
+	}
 }
 
 // Backoff bounds for reconnects.
@@ -221,6 +309,7 @@ func (f *Follower) fail(ctx context.Context, shard int, backoff *time.Duration, 
 		l.State = StateConnecting
 		l.LastError = err.Error()
 	})
+	f.metrics[shard].backoffs.Inc()
 	f.logf("repl: shard %d: %v (retrying in ~%v)", shard, err, *backoff)
 	d := *backoff + time.Duration(rng.Int63n(int64(*backoff)/2+1))
 	*backoff *= 2

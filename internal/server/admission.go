@@ -20,6 +20,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"osars/internal/obs"
 )
 
 // Admission defaults.
@@ -80,6 +82,57 @@ type limiter struct {
 	shedFullN     atomic.Uint64
 	shedTimeoutN  atomic.Uint64
 	shedCanceledN atomic.Uint64
+
+	// lobs mirrors the counters above into the metric registry once
+	// armObs runs; the zero value (nil instruments) is free to record
+	// into, so acquire never branches on "is observability on".
+	lobs limiterObs
+}
+
+// limiterObs is one class's interned admission instruments.
+type limiterObs struct {
+	admitted *obs.Counter
+	queuedN  *obs.Counter
+	shed     [3]*obs.Counter // indexed by verdict - shedFull
+	depth    *obs.Histogram  // queue depth observed at enqueue
+	waitHist *obs.Histogram  // time spent queued (queued requests only)
+}
+
+// shedReasons maps verdict - shedFull to the shed counter's reason
+// label.
+var shedReasons = [3]string{"queue_full", "timeout", "canceled"}
+
+// armObs interns the admission instruments for both classes. Nil
+// receiver and nil registry are no-ops.
+func (a *admission) armObs(reg *obs.Registry) {
+	if a == nil || reg == nil {
+		return
+	}
+	a.solves.armObs(reg, "solves")
+	a.reads.armObs(reg, "reads")
+}
+
+func (l *limiter) armObs(reg *obs.Registry, class string) {
+	if l == nil {
+		return
+	}
+	l.lobs = limiterObs{
+		admitted: reg.CounterVec("osars_admission_admitted_total",
+			"Requests that got an admission slot.", "class").With(class),
+		queuedN: reg.CounterVec("osars_admission_queued_total",
+			"Requests that had to wait in the admission queue.", "class").With(class),
+		depth: reg.HistogramVec("osars_admission_queue_depth",
+			"Queue depth observed by each request at enqueue time.",
+			obs.SizeBuckets, "class").With(class),
+		waitHist: reg.HistogramVec("osars_admission_queue_wait_seconds",
+			"Time queued requests spent waiting for a slot, whatever the outcome.",
+			nil, "class").With(class),
+	}
+	shed := reg.CounterVec("osars_admission_shed_total",
+		"Requests shed with 429, per reason.", "class", "reason")
+	for i, reason := range shedReasons {
+		l.lobs.shed[i] = shed.With(class, reason)
+	}
 }
 
 // newLimiter builds a class limiter; limit ≤ 0 returns nil (the nil
@@ -105,16 +158,18 @@ func newLimiter(limit, maxQueue int, wait time.Duration) *limiter {
 // acquire tries to admit one request: immediately when a slot is
 // free, after a bounded queue wait otherwise. On admitted the caller
 // MUST call release exactly once; on every other verdict release is
-// nil.
-func (l *limiter) acquire(ctx context.Context) (release func(), v verdict) {
+// nil. waited is the time spent in the queue (zero on the fast path
+// and on queue-full sheds) — it feeds the slow log's queue_wait field.
+func (l *limiter) acquire(ctx context.Context) (release func(), v verdict, waited time.Duration) {
 	if l == nil {
-		return func() {}, admitted
+		return func() {}, admitted, 0
 	}
-	// Fast path: free slot, no queueing.
+	// Fast path: free slot, no queueing, no clock read.
 	select {
 	case l.slots <- struct{}{}:
 		l.admitted.Add(1)
-		return l.release, admitted
+		l.lobs.admitted.Inc()
+		return l.release, admitted, 0
 	default:
 	}
 	// Queue, bounded. The increment-then-check keeps the check
@@ -123,7 +178,8 @@ func (l *limiter) acquire(ctx context.Context) (release func(), v verdict) {
 	if q > l.maxQueue {
 		l.queued.Add(-1)
 		l.shedFullN.Add(1)
-		return nil, shedFull
+		l.lobs.shed[0].Inc() // queue_full
+		return nil, shedFull, 0
 	}
 	// Track the deepest queue seen (observability: a rising high-water
 	// mark under steady traffic means the limit is too low or solves
@@ -134,19 +190,32 @@ func (l *limiter) acquire(ctx context.Context) (release func(), v verdict) {
 			break
 		}
 	}
+	l.lobs.queuedN.Inc()
+	l.lobs.depth.Observe(float64(q))
+	enq := time.Now()
 	timer := time.NewTimer(l.wait)
 	defer timer.Stop()
 	defer l.queued.Add(-1)
+	record := func(v verdict) time.Duration {
+		waited := time.Since(enq)
+		l.lobs.waitHist.Observe(waited.Seconds())
+		if v == admitted {
+			l.lobs.admitted.Inc()
+		} else {
+			l.lobs.shed[v-shedFull].Inc()
+		}
+		return waited
+	}
 	select {
 	case l.slots <- struct{}{}:
 		l.admitted.Add(1)
-		return l.release, admitted
+		return l.release, admitted, record(admitted)
 	case <-timer.C:
 		l.shedTimeoutN.Add(1)
-		return nil, shedTimeout
+		return nil, shedTimeout, record(shedTimeout)
 	case <-ctx.Done():
 		l.shedCanceledN.Add(1)
-		return nil, shedCanceled
+		return nil, shedCanceled, record(shedCanceled)
 	}
 }
 
@@ -233,9 +302,21 @@ func (a *admission) retryAfterSeconds() int {
 	return secs
 }
 
+// shedResponse is the 429 body: the queue depth at shed time lets a
+// client (or operator reading an error sample) tell a momentary burst
+// from a deep standing backlog, and the retry hint is machine-readable
+// without parsing the Retry-After header.
+type shedResponse struct {
+	Error             string `json:"error"`
+	QueueDepth        int    `json:"queue_depth"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
 // admit wraps a handler with one class limiter. Shed requests get
 // 429 + Retry-After and never reach the handler; a queued request
 // whose client disconnected gets nothing (the connection is gone).
+// The queue wait is deposited on the instrumentation's statusWriter
+// (when present) so the slow log can report it.
 func (s *Server) admit(class func(*admission) *limiter, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		a := s.admission
@@ -243,14 +324,23 @@ func (s *Server) admit(class func(*admission) *limiter, h http.HandlerFunc) http
 			h(w, r)
 			return
 		}
-		release, v := class(a).acquire(r.Context())
+		lim := class(a)
+		release, v, waited := lim.acquire(r.Context())
+		if sw, ok := w.(*statusWriter); ok {
+			sw.queueWait = waited
+		}
 		switch v {
 		case admitted:
 			defer release()
 			h(w, r)
 		case shedFull, shedTimeout:
-			w.Header().Set("Retry-After", strconv.Itoa(a.retryAfterSeconds()))
-			writeError(w, http.StatusTooManyRequests, "server is at capacity; retry later")
+			retry := a.retryAfterSeconds()
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			writeJSON(w, http.StatusTooManyRequests, shedResponse{
+				Error:             "server is at capacity; retry later",
+				QueueDepth:        int(lim.queued.Load()),
+				RetryAfterSeconds: retry,
+			})
 		case shedCanceled:
 			// The client is gone; nothing useful can be written.
 		}

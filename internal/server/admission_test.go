@@ -17,7 +17,7 @@ func TestLimiterFastPath(t *testing.T) {
 	l := newLimiter(2, 4, time.Second)
 	var releases []func()
 	for i := 0; i < 2; i++ {
-		rel, v := l.acquire(context.Background())
+		rel, v, _ := l.acquire(context.Background())
 		if v != admitted {
 			t.Fatalf("acquire %d: verdict %v", i, v)
 		}
@@ -38,7 +38,7 @@ func TestLimiterFastPath(t *testing.T) {
 // both the slots and the wait queue are saturated.
 func TestLimiterQueueFullSheds(t *testing.T) {
 	l := newLimiter(1, 1, time.Minute) // 1 slot, 1 queue seat
-	rel, v := l.acquire(context.Background())
+	rel, v, _ := l.acquire(context.Background())
 	if v != admitted {
 		t.Fatalf("first acquire verdict %v", v)
 	}
@@ -47,7 +47,7 @@ func TestLimiterQueueFullSheds(t *testing.T) {
 	done := make(chan verdict, 1)
 	go func() {
 		close(entered)
-		_, v := l.acquire(context.Background())
+		_, v, _ := l.acquire(context.Background())
 		done <- v
 	}()
 	<-entered
@@ -59,7 +59,7 @@ func TestLimiterQueueFullSheds(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if _, v := l.acquire(context.Background()); v != shedFull {
+	if _, v, _ := l.acquire(context.Background()); v != shedFull {
 		t.Fatalf("overflow acquire verdict %v, want shedFull", v)
 	}
 	rel() // frees the slot → the queued waiter is admitted
@@ -77,17 +77,17 @@ func TestLimiterQueueFullSheds(t *testing.T) {
 // deadline and the request context.
 func TestLimiterTimeoutAndCancel(t *testing.T) {
 	l := newLimiter(1, 4, 20*time.Millisecond)
-	rel, v := l.acquire(context.Background())
+	rel, v, _ := l.acquire(context.Background())
 	if v != admitted {
 		t.Fatalf("verdict %v", v)
 	}
 	defer rel()
-	if _, v := l.acquire(context.Background()); v != shedTimeout {
+	if _, v, _ := l.acquire(context.Background()); v != shedTimeout {
 		t.Fatalf("verdict %v, want shedTimeout", v)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
-	if _, v := l.acquire(ctx); v != shedCanceled {
+	if _, v, _ := l.acquire(ctx); v != shedCanceled {
 		t.Fatalf("verdict %v, want shedCanceled", v)
 	}
 	st := l.stats()
@@ -101,7 +101,7 @@ func TestLimiterTimeoutAndCancel(t *testing.T) {
 func TestNilLimiterUnlimited(t *testing.T) {
 	var l *limiter
 	for i := 0; i < 100; i++ {
-		rel, v := l.acquire(context.Background())
+		rel, v, _ := l.acquire(context.Background())
 		if v != admitted {
 			t.Fatalf("verdict %v", v)
 		}
@@ -138,7 +138,7 @@ func TestServerShedsWith429RetryAfter(t *testing.T) {
 	}
 	// Hold the only solve slot directly, then hit the endpoint: the
 	// request waits ≤ QueueWait and must then shed.
-	rel, v := srv.admission.solves.acquire(context.Background())
+	rel, v, _ := srv.admission.solves.acquire(context.Background())
 	if v != admitted {
 		t.Fatalf("setup acquire verdict %v", v)
 	}
@@ -199,7 +199,7 @@ func TestServerAdmitsUnderConcurrency(t *testing.T) {
 	}
 	// Occupy the slot so concurrent requests queue and shed
 	// deterministically.
-	rel, _ := srv.admission.solves.acquire(context.Background())
+	rel, _, _ := srv.admission.solves.acquire(context.Background())
 	const n = 16
 	codes := make([]int, n)
 	var wg sync.WaitGroup

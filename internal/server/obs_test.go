@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"osars"
+	"osars/internal/obs"
+)
+
+// obsServer builds a sharded stateful server with admission control
+// and an armed metric registry.
+func obsServer(t *testing.T, cfg AdmissionConfig) (*Server, *obs.Registry) {
+	t.Helper()
+	srv := admissionServer(t, cfg)
+	reg := osars.NewMetricsRegistry()
+	srv.ConfigureObservability(ObservabilityConfig{Metrics: reg})
+	return srv, reg
+}
+
+func scrape(t *testing.T, srv http.Handler) (int, string) {
+	t.Helper()
+	w := do(t, srv, http.MethodGet, "/metrics", nil)
+	return w.Code, w.Body.String()
+}
+
+func TestMetricsDisabledAnswers404(t *testing.T) {
+	srv := testServer(t)
+	code, body := scrape(t, srv)
+	if code != http.StatusNotFound || !strings.Contains(body, "metrics disabled") {
+		t.Fatalf("unconfigured /metrics = %d %q", code, body)
+	}
+}
+
+// TestStatsAndMetricsNeverGated pins the observability invariant: the
+// endpoints you need to diagnose an overloaded or booting server must
+// answer 200 exactly then. Both admission classes are saturated (slot
+// held, queue full of parked waiters) and the server is additionally
+// put in boot mode — /v1/stats and /metrics serve throughout.
+func TestStatsAndMetricsNeverGated(t *testing.T) {
+	srv, _ := obsServer(t, AdmissionConfig{
+		MaxInflightSolves: 1,
+		MaxInflightReads:  1,
+		MaxQueue:          1,
+		QueueWait:         2 * time.Second,
+	})
+	// Hold the only slot of each class, then park one waiter per class
+	// so the queues are full too: every gated endpoint now sheds.
+	for _, lim := range []*limiter{srv.admission.solves, srv.admission.reads} {
+		rel, v, _ := lim.acquire(context.Background())
+		if v != admitted {
+			t.Fatalf("setup acquire verdict %v", v)
+		}
+		defer rel()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lim.acquire(ctx) // parks until cancel
+		}()
+		defer wg.Wait()
+		waitQueued(t, lim, 1)
+	}
+	if w := do(t, srv, http.MethodGet, "/v1/items", nil); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("read class not saturated: %d", w.Code)
+	}
+	if w := do(t, srv, http.MethodGet, "/v1/stats", nil); w.Code != http.StatusOK {
+		t.Fatalf("/v1/stats under saturation: %d %s", w.Code, w.Body.String())
+	}
+	if code, body := scrape(t, srv); code != http.StatusOK ||
+		!strings.Contains(body, "osars_admission_shed_total") {
+		t.Fatalf("/metrics under saturation: %d %q", code, body)
+	}
+	// And during boot: the stateful endpoints answer 503, but stats
+	// and metrics still serve.
+	srv.BeginBoot()
+	defer srv.FinishBoot(srv.store)
+	if w := do(t, srv, http.MethodGet, "/v1/stats", nil); w.Code != http.StatusOK {
+		t.Fatalf("/v1/stats during boot: %d", w.Code)
+	}
+	if code, _ := scrape(t, srv); code != http.StatusOK {
+		t.Fatalf("/metrics during boot: %d", code)
+	}
+}
+
+func waitQueued(t *testing.T, l *limiter, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for l.queued.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (at %d)", n, l.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShedBodyReportsQueueDepth pins the 429 body contract: a request
+// shed because the queue is full reports the depth of that queue, so
+// a client can tell a momentary burst from a standing backlog.
+func TestShedBodyReportsQueueDepth(t *testing.T) {
+	srv, _ := obsServer(t, AdmissionConfig{
+		MaxInflightSolves: 1,
+		MaxQueue:          1,
+		QueueWait:         2 * time.Second,
+	})
+	lim := srv.admission.solves
+	rel, v, _ := lim.acquire(context.Background())
+	if v != admitted {
+		t.Fatalf("setup acquire verdict %v", v)
+	}
+	// Park one waiter to fill the queue, then shed a second request.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lim.acquire(ctx)
+	}()
+	waitQueued(t, lim, 1)
+	w := do(t, srv, http.MethodPost, "/v1/summarize", validRequest())
+	cancel()
+	wg.Wait()
+	rel()
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("full queue: code %d body %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var shed shedResponse
+	decode(t, w, &shed)
+	if shed.Error == "" || shed.QueueDepth != 1 || shed.RetryAfterSeconds < 1 {
+		t.Fatalf("shed body = %+v, want queue_depth 1 and a retry hint", shed)
+	}
+}
+
+// TestRouteMetricsRecorded drives a few requests and checks the
+// exposition: per-route request counters, status-class counters, the
+// latency histogram count and a settled in-flight gauge.
+func TestRouteMetricsRecorded(t *testing.T) {
+	srv, _ := obsServer(t, AdmissionConfig{})
+	if w := do(t, srv, http.MethodGet, "/healthz", nil); w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	if w := do(t, srv, http.MethodPost, "/v1/summarize", validRequest()); w.Code != http.StatusOK {
+		t.Fatalf("summarize: %d %s", w.Code, w.Body.String())
+	}
+	if w := do(t, srv, http.MethodGet, "/v1/items/nope", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("missing item: %d", w.Code)
+	}
+	code, body := scrape(t, srv)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		`osars_http_requests_total{route="/healthz"} 1`,
+		`osars_http_requests_total{route="/v1/summarize"} 1`,
+		`osars_http_responses_total{route="/healthz",class="2xx"} 1`,
+		`osars_http_responses_total{route="/v1/items/{id}",class="4xx"} 1`,
+		`osars_http_request_seconds_count{route="/v1/summarize"} 1`,
+		`osars_http_inflight_requests 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+}
+
+// TestSlowLogEmitsOverHTTP wires a 1ns threshold (everything is slow)
+// and checks one structured line per request, with the route pattern —
+// not the concrete path — and a shard for item routes.
+func TestSlowLogEmitsOverHTTP(t *testing.T) {
+	srv := admissionServer(t, AdmissionConfig{})
+	var mu sync.Mutex
+	var lines []string
+	srv.ConfigureObservability(ObservabilityConfig{
+		SlowRequestThreshold: time.Nanosecond,
+		SlowLogf: func(format string, args ...interface{}) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	if w := do(t, srv, http.MethodPut, "/v1/items/p1/reviews", AppendReviewsRequest{
+		Reviews: []RawReview{{ID: "r1", Text: "The screen is excellent."}},
+	}); w.Code != http.StatusOK {
+		t.Fatalf("append: %d %s", w.Code, w.Body.String())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("slow log lines = %d, want 1: %q", len(lines), lines)
+	}
+	line := lines[0]
+	if !strings.Contains(line, "method=PUT") ||
+		!strings.Contains(line, "route=/v1/items/{id}/reviews") ||
+		!strings.Contains(line, "status=200") ||
+		strings.Contains(line, "shard=-1") {
+		t.Fatalf("slow log line = %q", line)
+	}
+}

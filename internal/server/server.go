@@ -21,6 +21,7 @@
 //	GET    /v1/items                 → ListItemsResponse (all items + store counters)
 //	DELETE /v1/items/{id}            → {"deleted": true}
 //	GET    /v1/stats                 → StatsResponse (store + admission counters)
+//	GET    /metrics                  → Prometheus text exposition (404 until ConfigureObservability)
 //
 // The store behind the item API may be sharded (osars.StoreOptions
 // .Shards > 1): routing is invisible here — the Store interface hides
@@ -159,6 +160,13 @@ type Server struct {
 	// /readyz beyond boot completion (e.g. replication lag). Set before
 	// serving traffic.
 	readyProbe func() error
+	// obsM, when non-nil (ConfigureObservability), arms the per-route
+	// instruments, GET /metrics and the slow-request log. Set before
+	// serving traffic.
+	obsM *serverMetrics
+	// routes collects every instrumented route's placeholder metrics,
+	// armed by ConfigureObservability (routes register first).
+	routes []*routeMetrics
 	// MaxReviews rejects oversized requests (default 10000).
 	MaxReviews int
 	// MaxBodyBytes bounds request bodies (default 64 MiB). Larger
@@ -182,16 +190,20 @@ func NewWithStore(s *osars.Summarizer, st osars.Store) *Server {
 		MaxReviews:   10000,
 		MaxBodyBytes: 64 << 20,
 	}
-	srv.mux.HandleFunc("/healthz", srv.handleHealth)
-	srv.mux.HandleFunc("/readyz", srv.handleReady)
-	srv.mux.HandleFunc("/v1/ontology", srv.handleOntology)
-	srv.mux.HandleFunc("/v1/summarize", srv.admit(solveClass, srv.handleSummarize))
-	srv.mux.HandleFunc("PUT /v1/items/{id}/reviews", srv.handleAppendReviews)
-	srv.mux.HandleFunc("GET /v1/items/{id}/summary", srv.admit(solveClass, srv.handleItemSummary))
-	srv.mux.HandleFunc("GET /v1/items/{id}", srv.admit(readClass, srv.handleItemStats))
-	srv.mux.HandleFunc("GET /v1/items", srv.admit(readClass, srv.handleListItems))
-	srv.mux.HandleFunc("DELETE /v1/items/{id}", srv.handleDeleteItem)
-	srv.mux.HandleFunc("GET /v1/stats", srv.handleStats)
+	srv.handle("/healthz", srv.handleHealth)
+	srv.handle("/readyz", srv.handleReady)
+	srv.handle("/v1/ontology", srv.handleOntology)
+	srv.handle("/v1/summarize", srv.admit(solveClass, srv.handleSummarize))
+	srv.handle("PUT /v1/items/{id}/reviews", srv.handleAppendReviews)
+	srv.handle("GET /v1/items/{id}/summary", srv.admit(solveClass, srv.handleItemSummary))
+	srv.handle("GET /v1/items/{id}", srv.admit(readClass, srv.handleItemStats))
+	srv.handle("GET /v1/items", srv.admit(readClass, srv.handleListItems))
+	srv.handle("DELETE /v1/items/{id}", srv.handleDeleteItem)
+	srv.handle("GET /v1/stats", srv.handleStats)
+	// Deliberately NOT wrapped in handle(): scraping must not show up
+	// in the request metrics, and must never be admission- or boot-
+	// gated (handleMetrics answers 404 until ConfigureObservability).
+	srv.mux.HandleFunc("GET /metrics", srv.handleMetrics)
 	return srv
 }
 
@@ -203,6 +215,9 @@ func NewWithStore(s *osars.Summarizer, st osars.Store) *Server {
 // on the store's own WAL ordering instead.
 func (s *Server) ConfigureAdmission(cfg AdmissionConfig) {
 	s.admission = newAdmission(cfg)
+	if m := s.obsM; m != nil {
+		s.admission.armObs(m.reg)
+	}
 }
 
 // Store returns the backing store (nil in stateless-only mode or

@@ -37,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -182,12 +183,15 @@ func New(cfg Config) (*ShardedStore, error) {
 }
 
 // shardConfig derives shard i's store.Config from the template:
-// its own data subdirectory and an even split of the cache budgets.
+// its own data subdirectory, an even split of the cache budgets, and
+// its own "shard" metric label (all shards share the template's
+// registry, so per-shard series land in the same families).
 func shardConfig(cfg Config, i int) store.Config {
 	sc := cfg.Store
 	if sc.DataDir != "" {
 		sc.DataDir = ShardDir(sc.DataDir, i)
 	}
+	sc.ObsShard = strconv.Itoa(i)
 	n := cfg.Shards
 	// Budgets: an explicit negative (disabled) passes through; zero
 	// (defaults) is resolved here so the split applies to the default

@@ -3,6 +3,8 @@ package store
 import (
 	"container/list"
 	"sync"
+
+	"osars/internal/obs"
 )
 
 // lruCache is the generation-aware summary cache: a plain LRU over
@@ -19,6 +21,7 @@ type lruCache struct {
 	m          map[cacheKey]*list.Element
 	bytes      int64
 	evictions  uint64
+	evicted    *obs.Counter // optional mirror of evictions (nil-safe)
 }
 
 type lruEntry struct {
@@ -75,6 +78,7 @@ func (c *lruCache) Add(key cacheKey, sum *Summary) {
 	for (c.ll.Len() > c.maxEntries) || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
 		c.removeElement(c.ll.Back())
 		c.evictions++
+		c.evicted.Inc()
 	}
 }
 

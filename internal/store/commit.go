@@ -267,6 +267,7 @@ func (p *persister) commitBatch(batch []*commitReq) {
 	}
 
 	s := p.s
+	s.metrics.commitBatch.Observe(float64(len(batch)))
 	s.mu.Lock()
 	for i, r := range batch {
 		switch r.op {

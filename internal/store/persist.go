@@ -247,7 +247,12 @@ func openPersistence(s *Store, cfg Config) error {
 	}
 
 	// 2. Open the WAL (torn-tail truncation happens here).
-	log, info, err := wal.Open(cfg.DataDir, wal.Options{SegmentBytes: cfg.SegmentBytes})
+	log, info, err := wal.Open(cfg.DataDir, wal.Options{
+		SegmentBytes: cfg.SegmentBytes,
+		FsyncSeconds: s.metrics.walFsync,
+		BytesWritten: s.metrics.walBytes,
+		Rotations:    s.metrics.walRotations,
+	})
 	if err != nil {
 		return fmt.Errorf("store: open wal: %w", err)
 	}
@@ -362,6 +367,7 @@ func (p *persister) snapshot() error {
 	p.snapMu.Lock()
 	defer p.snapMu.Unlock()
 	s := p.s
+	snapStart := time.Now()
 
 	s.mu.RLock()
 	seq := p.appliedSeq
@@ -414,6 +420,7 @@ func (p *persister) snapshot() error {
 	p.lastSnapSeq = seq
 	s.mu.Unlock()
 	p.snapshotsWritten.Add(1)
+	s.metrics.snapshotSeconds.ObserveSince(snapStart)
 	return nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"osars/internal/coverage"
 	"osars/internal/extract"
 	"osars/internal/model"
+	"osars/internal/obs"
 	"osars/internal/summarize"
 )
 
@@ -107,6 +108,15 @@ type Config struct {
 	// (default wal.DefaultSegmentBytes).
 	SegmentBytes int64
 
+	// Obs, when non-nil, registers the store's instruments (append and
+	// solve latency, cache hit/miss/eviction counters, group-commit
+	// batch sizes, WAL fsync/bytes/rotations) in this registry. The
+	// sharded wrapper passes one shared registry to every shard.
+	Obs *obs.Registry
+	// ObsShard is the value of the "shard" label on this store's
+	// instruments (default "0"). Set by the sharded wrapper.
+	ObsShard string
+
 	// Replica opens the store in read-only replica mode: local writes
 	// (AppendReviews, Delete) are rejected with ErrReadOnly and state
 	// advances only through ApplyReplicated / InstallSnapshot, fed by a
@@ -133,8 +143,9 @@ type Store struct {
 	items   map[string]*entry
 	nextGen uint64 // store-global so generations are never reused across delete/recreate
 
-	cache *lruCache
-	group flightGroup
+	cache   *lruCache
+	group   flightGroup
+	metrics storeMetrics // interned instruments; zero value when Config.Obs is nil
 
 	// persist is the durability subsystem (nil for in-memory stores).
 	persist *persister
@@ -189,7 +200,9 @@ func New(cfg Config) (*Store, error) {
 		replica:  cfg.Replica,
 		items:    make(map[string]*entry),
 		cache:    newLRU(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
+		metrics:  newStoreMetrics(cfg.Obs, cfg.ObsShard),
 	}
+	s.cache.evicted = s.metrics.cacheEvictions
 	if cfg.DataDir != "" {
 		if err := openPersistence(s, cfg); err != nil {
 			return nil, err
@@ -247,18 +260,22 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 	if s.replica {
 		return ItemStats{}, ErrReadOnly
 	}
+	// now doubles as the record timestamp and the latency-measurement
+	// start, so osars_store_append_seconds covers annotation AND the
+	// durable commit.
+	now := time.Now()
 	// The expensive part — tokenization, concept matching, sentiment —
 	// runs outside any lock, touches only the new reviews, and fans out
 	// across GOMAXPROCS workers (order-preserving, so the stored corpus
 	// is byte-identical to sequential ingestion).
 	annotated := s.pipeline.AnnotateReviews(reviews, 0)
 
-	now := time.Now()
 	if s.persist != nil {
 		stats, err := s.persist.commitAppend(id, name, now, reviews, annotated)
 		if err != nil {
 			return ItemStats{}, fmt.Errorf("store: wal append: %w", err)
 		}
+		s.metrics.appendSeconds.ObserveSince(now)
 		return stats, nil
 	}
 	s.mu.Lock()
@@ -270,6 +287,7 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 	}
 	stats := s.applyAppendLocked(id, name, annotated, now)
 	s.appends.Add(1)
+	s.metrics.appendSeconds.ObserveSince(now)
 	return stats, nil
 }
 
@@ -452,9 +470,11 @@ func (s *Store) Summary(id string, k int, g model.Granularity, m Method) (sum *S
 	key := cacheKey{id: id, gen: gen, k: k, g: g, m: m}
 	if sum, ok := s.cache.Get(key); ok {
 		s.hits.Add(1)
+		s.metrics.cacheHits.Inc()
 		return sum, true, nil
 	}
 	s.misses.Add(1)
+	s.metrics.cacheMisses.Inc()
 	return s.group.Do(key, func() (*Summary, error) {
 		// Double-check: a flight that completed between our cache miss
 		// and joining the group may have populated the cache already.
@@ -486,6 +506,7 @@ func (s *Store) Summary(id string, k int, g model.Granularity, m Method) (sum *S
 // solve runs the coverage solve on an immutable item snapshot.
 func (s *Store) solve(item *model.Item, gen uint64, k int, g model.Granularity, m Method) (*Summary, error) {
 	s.solves.Add(1)
+	solveStart := time.Now()
 	graph := coverage.Build(s.metric, item, g)
 	if k > graph.NumCandidates {
 		k = graph.NumCandidates
@@ -536,6 +557,7 @@ func (s *Store) solve(item *model.Item, gen uint64, k int, g model.Granularity, 
 			sum.ReviewIDs = append(sum.ReviewIDs, item.Reviews[idx].ID)
 		}
 	}
+	s.metrics.solveSeconds[m].ObserveSince(solveStart)
 	return sum, nil
 }
 

@@ -40,6 +40,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"osars/internal/obs"
 )
 
 const (
@@ -66,6 +69,19 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this many
 	// bytes (default DefaultSegmentBytes).
 	SegmentBytes int64
+
+	// Optional instruments, injected by the store layer so each
+	// shard's log reports under its own label. All are nil-safe: a
+	// zero Options disables WAL metrics entirely.
+
+	// FsyncSeconds observes the latency of each real fsync (skipped
+	// no-op syncs are not observed).
+	FsyncSeconds *obs.Histogram
+	// BytesWritten counts framed bytes handed to the segment file.
+	BytesWritten *obs.Counter
+	// Rotations counts segment rotations (including the initial
+	// segment creation at Open).
+	Rotations *obs.Counter
 }
 
 // RecoveryInfo reports what Open had to do to reach a clean log.
@@ -343,6 +359,7 @@ func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
 	if _, err := l.active.Write(frame); err != nil {
 		return 0, err
 	}
+	l.opts.BytesWritten.Add(uint64(total))
 	last.size += int64(total)
 	l.nextSeq = seq
 	l.dirty = true
@@ -382,9 +399,11 @@ func (l *Log) syncLocked() error {
 	if l.active == nil || !l.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := l.active.Sync(); err != nil {
 		return err
 	}
+	l.opts.FsyncSeconds.ObserveSince(start)
 	l.dirty = false
 	return nil
 }
@@ -459,6 +478,7 @@ func (l *Log) rotateLocked() error {
 	}
 	l.active = f
 	l.segments = append(l.segments, segment{path: path, firstSeq: l.nextSeq})
+	l.opts.Rotations.Inc()
 	return syncDir(l.dir)
 }
 

@@ -1,0 +1,23 @@
+package osars
+
+import "osars/internal/obs"
+
+// MetricsRegistry is the process-wide metric registry exported by the
+// observability subsystem (internal/obs): a dependency-free set of
+// counters, gauges and fixed-bucket histograms with an atomic hot path
+// and Prometheus text exposition. Create one with NewMetricsRegistry,
+// hand it to every layer that should register instruments
+// (StoreOptions.Metrics, server.ObservabilityConfig, repl follower
+// config) and serve it over HTTP via its Handler method — the server
+// mounts it on GET /metrics.
+//
+// All instruments are nil-receiver safe: a nil registry yields nil
+// instruments whose methods are no-ops, so instrumented code paths
+// never check "is observability on".
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty metric registry. One registry per
+// process: every layer registers into the same namespace
+// (osars_<layer>_<name>_<unit>) and one /metrics scrape exposes all of
+// it.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }

@@ -169,6 +169,13 @@ type StoreOptions struct {
 	// normally. Combine with DataDir so the replica resumes from its
 	// last applied sequence after a restart.
 	Replica bool
+
+	// Metrics, when non-nil, registers the store's instruments (append
+	// and solve latency histograms, cache hit/miss/eviction counters,
+	// group-commit batch sizes, WAL fsync/bytes/rotation series) in the
+	// given registry. In a sharded store every series carries a "shard"
+	// label. Nil leaves the store uninstrumented at zero cost.
+	Metrics *MetricsRegistry
 }
 
 // NewStore builds an in-memory stateful corpus sharing this
@@ -211,6 +218,7 @@ func (s *Summarizer) OpenStore(opts StoreOptions) (Store, error) {
 		SnapshotEvery:   opts.SnapshotEvery,
 		SegmentBytes:    opts.WALSegmentBytes,
 		Replica:         opts.Replica,
+		Obs:             opts.Metrics,
 	}
 	if opts.Shards > 1 {
 		return shard.New(shard.Config{

@@ -4,6 +4,14 @@
 //
 //	osars-gen -domain doctor -scale small -out ./data
 //	osars-gen -domain phone  -scale full  -seed 7 -out ./data
+//
+// With -entry it additionally writes <out>/<domain>-entry.json, an
+// osars-ontology/v1 registry entry bundling the domain ontology, the
+// built-in opinion lexicon and -eps — ready for
+// PUT /v1/ontologies/<domain> on a running osars-serve:
+//
+//	osars-gen -domain phone -entry -eps 0.5 -out ./data
+//	curl -X PUT localhost:8080/v1/ontologies/phone --data-binary @data/phone-entry.json
 package main
 
 import (
@@ -12,7 +20,9 @@ import (
 	"os"
 	"path/filepath"
 
+	"osars"
 	"osars/internal/dataset"
+	"osars/internal/sentiment"
 )
 
 func main() {
@@ -21,6 +31,8 @@ func main() {
 		scale  = flag.String("scale", "small", "corpus scale: small|full (full matches Table 1)")
 		seed   = flag.Int64("seed", 1, "generation seed")
 		outDir = flag.String("out", ".", "output directory")
+		entry  = flag.Bool("entry", false, "also write <out>/<domain>-entry.json, an uploadable osars-ontology/v1 registry entry (ontology + built-in lexicon + -eps)")
+		eps    = flag.Float64("eps", 0.5, "sentiment threshold ε baked into the -entry file")
 	)
 	flag.Parse()
 
@@ -53,4 +65,21 @@ func main() {
 	stats := dataset.ComputeStats(corpus)
 	fmt.Println(stats.Table1Row(*domain + " (" + *scale + ")"))
 	fmt.Printf("ontology: %s (%v)\nitems:    %s\n", ontPath, corpus.Ont, itemsPath)
+
+	if *entry {
+		// The built-in lexicon is exported explicitly so the entry file is
+		// self-contained: its content hash (= registry version) covers the
+		// exact word table the server will score with.
+		ent, err := osars.NewOntologyEntry(*domain, corpus.Ont, sentiment.SeedOpinionWords(), *eps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		entryPath := filepath.Join(*outDir, *domain+"-entry.json")
+		if err := os.WriteFile(entryPath, append(ent.Payload(), '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("entry:    %s (%s@%s, ε=%.2f)\n", entryPath, ent.Name, ent.Version, *eps)
+	}
 }

@@ -73,6 +73,24 @@
 //	osars-serve -addr :8080 -pprof localhost:6060
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
+// Ontology lifecycle: the boot-time ontology (-domain / -ontology /
+// -eps) is only the starting point. Versioned (ontology, lexicon, ε)
+// bundles in the osars-ontology/v1 JSON format (generate one with
+// osars-gen -entry) can be uploaded and hot-activated on the running
+// server with NO restart — in-flight requests finish on the version
+// they started with, stored items re-annotate lazily, and activations
+// are WAL-logged so they survive restarts and replicate to followers:
+//
+//	osars-serve -addr :8080 -data-dir /var/lib/osars -ontology-dir /var/lib/osars-onto
+//	curl -s -X PUT localhost:8080/v1/ontologies/phone --data-binary @phone-entry.json
+//	curl -s -X POST localhost:8080/v1/ontologies/phone/activate
+//	curl -s localhost:8080/v1/ontologies
+//
+// -active-ontology name[@version] activates a registry entry right
+// after boot recovery (primary only; replicas adopt the primary's
+// active version through the replication stream). Stateless requests
+// may pin a registered domain per call with {"ontology": "name"}.
+//
 // Monitoring: -metrics exposes Prometheus text metrics on GET /metrics
 // (on the main listener, and on the -pprof listener too when one is
 // configured) covering every layer: HTTP routes, admission control,
@@ -112,6 +130,8 @@ func main() {
 		domain       = flag.String("domain", "phone", "built-in ontology when -ontology is not given: phone|doctor")
 		ontPath      = flag.String("ontology", "", "path to an ontology JSON file (overrides -domain)")
 		eps          = flag.Float64("eps", 0.5, "sentiment threshold ε")
+		ontoDir      = flag.String("ontology-dir", "", "ontology registry persistence: entries uploaded via PUT /v1/ontologies/{name} land here and reload on boot; empty keeps uploads in memory only")
+		activeOnt    = flag.String("active-ontology", "", "activate this registry entry (\"name\" or \"name@version\", resolved against -ontology-dir) on the store after boot recovery")
 		stateless    = flag.Bool("stateless", false, "disable the stateful /v1/items API")
 		cacheEntries = flag.Int("cache-entries", 1024, "summary cache entry budget (negative disables caching)")
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "summary cache byte budget (negative: entry-count only)")
@@ -146,6 +166,9 @@ func main() {
 		if *stateless {
 			log.Fatalf("osars-serve: -role=replica needs the stateful store (drop -stateless)")
 		}
+		if *activeOnt != "" {
+			log.Fatalf("osars-serve: -active-ontology is primary-only; replicas adopt the primary's active ontology through replication")
+		}
 	default:
 		log.Fatalf("osars-serve: unknown -role %q (primary|replica)", *role)
 	}
@@ -179,6 +202,9 @@ func main() {
 	}
 	if *stateless && *dataDir != "" {
 		log.Fatalf("osars-serve: -data-dir requires the stateful store (drop -stateless)")
+	}
+	if *stateless && *activeOnt != "" {
+		log.Fatalf("osars-serve: -active-ontology activates on the stateful store (drop -stateless)")
 	}
 	// One registry for the whole process: the HTTP layer, admission,
 	// every store shard, the WAL and the replication follower all
@@ -240,6 +266,22 @@ func main() {
 			SlowRequestThreshold: *slowThresh,
 		})
 	}
+	// The ontology lifecycle API is always armed: a memory-only registry
+	// still allows upload + hot-activate, it just forgets uploads on
+	// restart (the ACTIVE version itself survives via the store's WAL).
+	ontoReg := osars.NewOntologyRegistry(osars.OntologyRegistryOptions{Dir: *ontoDir, Obs: reg})
+	if *ontoDir != "" {
+		n, err := ontoReg.LoadDir()
+		if err != nil {
+			// Partial load: bad files are skipped, everything valid is
+			// registered. Keep serving rather than refuse to boot over one
+			// torn upload.
+			log.Printf("osars-serve: ontology registry: %v (serving the %d entries that loaded)", err, n)
+		} else if n > 0 {
+			fmt.Printf("osars-serve: ontology registry: %d entries from %s\n", n, *ontoDir)
+		}
+	}
+	h.ConfigureOntologies(ontoReg)
 	var (
 		primaryH    *repl.PrimaryHandler
 		replicaH    *repl.ReplicaHandler
@@ -318,6 +360,19 @@ func main() {
 			fmt.Println(")")
 		}
 		h.FinishBoot(st)
+		if *activeOnt != "" {
+			_, rt, ok := ontoReg.Lookup(*activeOnt)
+			if !ok {
+				log.Fatalf("osars-serve: -active-ontology: no entry %q in the registry (check -ontology-dir)", *activeOnt)
+			}
+			start := time.Now()
+			if err := st.ActivateOntology(rt); err != nil {
+				log.Fatalf("osars-serve: -active-ontology: %v", err)
+			}
+			ontoReg.SetActive(rt)
+			ontoReg.RecordActivation(rt, time.Since(start))
+			fmt.Printf("osars-serve: activated ontology %s@%s\n", rt.Name, rt.Version)
+		}
 		if primaryH != nil {
 			src, err := repl.NewSource(st)
 			if err != nil {
@@ -355,6 +410,9 @@ func main() {
 	}
 	if *maxSolves > 0 {
 		mode += fmt.Sprintf(", admission %d solves/queue-wait %v", *maxSolves, *queueWait)
+	}
+	if *ontoDir != "" {
+		mode += fmt.Sprintf(", ontology registry in %s", *ontoDir)
 	}
 	if reg != nil {
 		mode += ", metrics on /metrics"

@@ -1,0 +1,238 @@
+// Package ontoreg is the ontology-and-lexicon lifecycle subsystem:
+// a JSON on-disk format bundling a concept DAG with a graded opinion
+// lexicon and a sentiment threshold, content-hash versioning of those
+// bundles, and a registry of named entries with an atomically swappable
+// active runtime.
+//
+// Everything the paper's metric computes — pair distance (Def. 1),
+// summary cost (Def. 2) — is defined RELATIVE to an ontology and a
+// sentiment scale, and every annotated pair carries a ConceptID that is
+// a dense index into one specific ontology. Swapping the ontology is
+// therefore not a config reload: it changes the meaning of every cached
+// summary and every stored annotation. This package gives that swap a
+// safe shape:
+//
+//   - An Entry is the loadable unit: name + ε + ontology + lexicon,
+//     validated on decode (cycles, duplicate concepts, unknown edge
+//     targets and out-of-range polarities are rejected before anything
+//     can be activated).
+//   - The Version of an entry is a content hash over its canonical
+//     encoding: two uploads with the same semantics get the same
+//     version regardless of field order or whitespace, and the version
+//     participates in summary-cache keys so a summary solved under one
+//     ontology can never answer a request under another.
+//   - A Runtime is the entry compiled for serving — metric, matcher,
+//     extraction pipeline — built once per entry and shared behind an
+//     atomic pointer; in-flight requests keep the runtime they started
+//     with while new requests see the new one.
+package ontoreg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"osars/internal/extract"
+	"osars/internal/model"
+	"osars/internal/ontology"
+	"osars/internal/sentiment"
+)
+
+// Schema identifies the entry file format.
+const Schema = "osars-ontology/v1"
+
+// DefaultEpsilon is the sentiment threshold used when an entry omits
+// it (the paper's §5.3 elbow).
+const DefaultEpsilon = 0.5
+
+// maxNameLen bounds entry names (they become file names and URL path
+// segments).
+const maxNameLen = 100
+
+// Entry is one validated ontology bundle: the unit the registry
+// stores, the admin API uploads and the WAL logs on activation.
+// Entries are immutable after construction.
+type Entry struct {
+	// Name identifies the entry in the registry ([a-zA-Z0-9._-]+).
+	Name string
+	// Epsilon is the Definition-1 sentiment threshold ε.
+	Epsilon float64
+	// Ontology is the validated concept DAG.
+	Ontology *ontology.Ontology
+	// Lexicon maps opinion words to prior polarities in [-1, +1].
+	// Empty means the built-in lexicon.
+	Lexicon map[string]float64
+	// Version is the content hash of the canonical encoding (16 hex
+	// chars): identical semantics → identical version.
+	Version string
+
+	payload []byte // canonical encoding, hashed into Version
+}
+
+// entryJSON is the on-disk / on-wire shape of an Entry.
+type entryJSON struct {
+	Schema   string             `json:"schema"`
+	Name     string             `json:"name"`
+	Epsilon  float64            `json:"epsilon"`
+	Ontology *ontology.Ontology `json:"ontology"`
+	Lexicon  map[string]float64 `json:"lexicon,omitempty"`
+}
+
+// entryProbe reads the cheap fields before the ontology is validated,
+// so a wrong schema is reported as a schema error, not an ontology one.
+type entryProbe struct {
+	Schema   string             `json:"schema"`
+	Name     string             `json:"name"`
+	Epsilon  float64            `json:"epsilon"`
+	Ontology json.RawMessage    `json:"ontology"`
+	Lexicon  map[string]float64 `json:"lexicon"`
+}
+
+// validName reports whether the entry name is registry- and
+// filesystem-safe: non-empty, ≤ maxNameLen, [a-zA-Z0-9._-] only (no
+// path separators, no "@" — that is the name/version delimiter).
+func validName(name string) bool {
+	if name == "" || len(name) > maxNameLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewEntry validates and canonicalizes an in-process ontology bundle.
+// epsilon 0 means DefaultEpsilon; a nil or empty lexicon means the
+// built-in one.
+func NewEntry(name string, ont *ontology.Ontology, lexicon map[string]float64, epsilon float64) (*Entry, error) {
+	if !validName(name) {
+		return nil, fmt.Errorf("ontoreg: invalid entry name %q (want 1-%d chars of [a-zA-Z0-9._-])", name, maxNameLen)
+	}
+	if ont == nil {
+		return nil, fmt.Errorf("ontoreg: entry %q: ontology is required", name)
+	}
+	if epsilon == 0 {
+		epsilon = DefaultEpsilon
+	}
+	if epsilon < 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("ontoreg: entry %q: epsilon must be positive and finite, got %v", name, epsilon)
+	}
+	for w, v := range lexicon {
+		if w == "" {
+			return nil, fmt.Errorf("ontoreg: entry %q: lexicon has an empty word", name)
+		}
+		if v < -1 || v > 1 || math.IsNaN(v) {
+			return nil, fmt.Errorf("ontoreg: entry %q: lexicon word %q has polarity %v outside [-1, +1]", name, w, v)
+		}
+	}
+	e := &Entry{Name: name, Epsilon: epsilon, Ontology: ont, Lexicon: lexicon}
+	// Canonical encoding: encoding/json sorts map keys and the
+	// ontology's MarshalJSON emits concepts in ID order, so semantically
+	// identical entries byte-compare equal — the hash is a true content
+	// version.
+	payload, err := json.Marshal(entryJSON{
+		Schema:   Schema,
+		Name:     e.Name,
+		Epsilon:  e.Epsilon,
+		Ontology: e.Ontology,
+		Lexicon:  e.Lexicon,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ontoreg: encode entry %q: %w", name, err)
+	}
+	sum := sha256.Sum256(payload)
+	e.payload = payload
+	e.Version = hex.EncodeToString(sum[:8])
+	return e, nil
+}
+
+// Decode parses and validates an entry file. Every structural error —
+// wrong schema, bad name, cyclic or multi-root ontology, duplicate
+// concept names, edges to unknown concepts, out-of-range polarities —
+// is rejected here, so anything that makes it into a registry can be
+// activated safely. The returned entry is re-canonicalized: its
+// Version does not depend on the input's formatting.
+func Decode(data []byte) (*Entry, error) {
+	var probe entryProbe
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("ontoreg: parse entry: %w", err)
+	}
+	if probe.Schema != Schema {
+		return nil, fmt.Errorf("ontoreg: unknown entry schema %q (want %q)", probe.Schema, Schema)
+	}
+	if len(probe.Ontology) == 0 || string(probe.Ontology) == "null" {
+		return nil, fmt.Errorf("ontoreg: entry %q: ontology is required", probe.Name)
+	}
+	ont := new(ontology.Ontology)
+	if err := json.Unmarshal(probe.Ontology, ont); err != nil {
+		return nil, fmt.Errorf("ontoreg: entry %q: %w", probe.Name, err)
+	}
+	return NewEntry(probe.Name, ont, probe.Lexicon, probe.Epsilon)
+}
+
+// Payload returns the canonical encoding (what Version hashes, what
+// the registry persists and what the WAL logs on activation). The
+// returned bytes are shared and must not be mutated.
+func (e *Entry) Payload() []byte { return e.payload }
+
+// Runtime is an entry compiled for serving: the Definition-1/2 metric
+// and the extraction pipeline, plus the identity needed for cache keys
+// and WAL records. A Runtime is immutable and safe to share; the store
+// publishes the active one behind an atomic pointer.
+type Runtime struct {
+	// Name and Version identify the entry this runtime was built from.
+	// Config-born runtimes (ConfigRuntime) use "config" for both.
+	Name    string
+	Version string
+	// Epsilon is the threshold baked into Metric.
+	Epsilon float64
+	// Metric is the pair-distance / summary-cost metric.
+	Metric model.Metric
+	// Pipeline annotates raw reviews under this ontology and lexicon.
+	Pipeline *extract.Pipeline
+	// Payload is the canonical entry encoding, logged to the WAL when
+	// this runtime is activated on a durable store. Nil for runtimes
+	// that cannot be serialized (custom estimators via ConfigRuntime) —
+	// those can serve, but not be durably activated.
+	Payload []byte
+}
+
+// Runtime compiles the entry: matcher over the entry's ontology,
+// lexicon estimator over the entry's word table (built-in when empty).
+func (e *Entry) Runtime() *Runtime {
+	var est sentiment.Estimator = sentiment.Lexicon{Table: e.Lexicon}
+	return &Runtime{
+		Name:     e.Name,
+		Version:  e.Version,
+		Epsilon:  e.Epsilon,
+		Metric:   model.Metric{Ont: e.Ontology, Epsilon: e.Epsilon},
+		Pipeline: extract.NewPipeline(extract.NewMatcher(e.Ontology), est),
+		Payload:  e.payload,
+	}
+}
+
+// ConfigVersion is the Name/Version of runtimes built directly from an
+// externally constructed metric + pipeline (no entry to hash).
+const ConfigVersion = "config"
+
+// ConfigRuntime wraps an externally built metric and pipeline as a
+// runtime. It serves like any other but carries no payload, so a
+// durable store refuses to activate it — use a registry entry for
+// that.
+func ConfigRuntime(m model.Metric, p *extract.Pipeline) *Runtime {
+	return &Runtime{
+		Name:     ConfigVersion,
+		Version:  ConfigVersion,
+		Epsilon:  m.Epsilon,
+		Metric:   m,
+		Pipeline: p,
+	}
+}

@@ -1,0 +1,242 @@
+package ontoreg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"osars/internal/ontology"
+)
+
+// randomDAG builds a random rooted multi-parent DAG with n concepts.
+// Every concept beyond the root links to 1-3 earlier concepts, so the
+// graph is acyclic and single-rooted by construction but exercises
+// shared subtrees and diamond shapes.
+func randomDAG(t *testing.T, rng *rand.Rand, n int) *ontology.Ontology {
+	t.Helper()
+	var b ontology.Builder
+	ids := make([]ontology.ConceptID, 0, n)
+	ids = append(ids, b.AddConcept("root", "device"))
+	for i := 1; i < n; i++ {
+		var syns []string
+		if rng.Intn(2) == 0 {
+			syns = append(syns, fmt.Sprintf("syn-%d", i))
+		}
+		id := b.AddConcept(fmt.Sprintf("concept-%d", i), syns...)
+		parents := 1 + rng.Intn(3)
+		for p := 0; p < parents; p++ {
+			if err := b.AddEdge(ids[rng.Intn(len(ids))], id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ids = append(ids, id)
+	}
+	ont, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ont
+}
+
+func randomLexicon(rng *rand.Rand) map[string]float64 {
+	lex := make(map[string]float64)
+	for i, n := 0, rng.Intn(20); i < n; i++ {
+		// Quantized polarities so the JSON float round-trip is exact.
+		lex[fmt.Sprintf("word-%d", rng.Intn(100))] = float64(rng.Intn(21)-10) / 10
+	}
+	return lex
+}
+
+// TestRoundTripRandomDAGs is the codec property test: for random
+// multi-parent DAGs and lexicons, Encode→Decode must reproduce the
+// entry exactly — same version, same canonical payload, same graph
+// shape — and decoding must be idempotent.
+func TestRoundTripRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 50; iter++ {
+		ont := randomDAG(t, rng, 2+rng.Intn(60))
+		lex := randomLexicon(rng)
+		eps := float64(1+rng.Intn(10)) / 10
+		e, err := NewEntry("dom", ont, lex, eps)
+		if err != nil {
+			t.Fatalf("iter %d: NewEntry: %v", iter, err)
+		}
+		got, err := Decode(e.Payload())
+		if err != nil {
+			t.Fatalf("iter %d: Decode: %v", iter, err)
+		}
+		if got.Version != e.Version {
+			t.Fatalf("iter %d: version changed across round trip: %s -> %s", iter, e.Version, got.Version)
+		}
+		if !bytes.Equal(got.Payload(), e.Payload()) {
+			t.Fatalf("iter %d: canonical payload not stable across round trip", iter)
+		}
+		if got.Name != e.Name || got.Epsilon != e.Epsilon {
+			t.Fatalf("iter %d: identity changed: %q ε=%v -> %q ε=%v", iter, e.Name, e.Epsilon, got.Name, got.Epsilon)
+		}
+		if got.Ontology.Len() != ont.Len() || got.Ontology.NumEdges() != ont.NumEdges() ||
+			got.Ontology.MaxDepth() != ont.MaxDepth() {
+			t.Fatalf("iter %d: graph shape changed: %v -> %v", iter, ont, got.Ontology)
+		}
+		if len(got.Lexicon) != len(lex) {
+			t.Fatalf("iter %d: lexicon size changed: %d -> %d", iter, len(lex), len(got.Lexicon))
+		}
+		for w, v := range lex {
+			if got.Lexicon[w] != v {
+				t.Fatalf("iter %d: lexicon[%q] = %v, want %v", iter, w, got.Lexicon[w], v)
+			}
+		}
+	}
+}
+
+// TestVersionIgnoresFormatting: the version hashes the CANONICAL
+// encoding, so whitespace and field order in the uploaded file must
+// not change it — and any semantic change must.
+func TestVersionIgnoresFormatting(t *testing.T) {
+	ont := randomDAG(t, rand.New(rand.NewSource(7)), 20)
+	e, err := NewEntry("phone", ont, map[string]float64{"great": 0.9}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var indented bytes.Buffer
+	if err := json.Indent(&indented, e.Payload(), "", "    "); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(indented.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != e.Version {
+		t.Fatalf("re-indented upload changed the version: %s -> %s", e.Version, got.Version)
+	}
+
+	// Field order: rebuild the top-level object in a different key order.
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(e.Payload(), &m); err != nil {
+		t.Fatal(err)
+	}
+	reordered := fmt.Sprintf(`{"lexicon":%s,"ontology":%s,"epsilon":%s,"name":%s,"schema":%s}`,
+		m["lexicon"], m["ontology"], m["epsilon"], m["name"], m["schema"])
+	got2, err := Decode([]byte(reordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Version != e.Version {
+		t.Fatalf("reordered upload changed the version: %s -> %s", e.Version, got2.Version)
+	}
+
+	// Semantic changes must move the version.
+	if e2, err := NewEntry("phone", ont, map[string]float64{"great": 0.8}, 0.5); err != nil || e2.Version == e.Version {
+		t.Fatalf("lexicon change did not move the version (err=%v)", err)
+	}
+	if e3, err := NewEntry("phone", ont, map[string]float64{"great": 0.9}, 0.7); err != nil || e3.Version == e.Version {
+		t.Fatalf("epsilon change did not move the version (err=%v)", err)
+	}
+}
+
+func entryDoc(mutate func(m map[string]any)) []byte {
+	m := map[string]any{
+		"schema":  Schema,
+		"name":    "dom",
+		"epsilon": 0.5,
+		"ontology": map[string]any{
+			"concepts": []map[string]any{
+				{"name": "root"},
+				{"name": "screen", "parents": []int{0}},
+			},
+		},
+	}
+	if mutate != nil {
+		mutate(m)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+func TestDecodeRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    []byte
+		wantSub string
+	}{
+		{"not json", []byte("{torn"), "parse entry"},
+		{"wrong schema", entryDoc(func(m map[string]any) { m["schema"] = "osars-ontology/v0" }), "unknown entry schema"},
+		{"missing schema", entryDoc(func(m map[string]any) { delete(m, "schema") }), "unknown entry schema"},
+		{"bad name slash", entryDoc(func(m map[string]any) { m["name"] = "a/b" }), "invalid entry name"},
+		{"bad name at", entryDoc(func(m map[string]any) { m["name"] = "a@b" }), "invalid entry name"},
+		{"empty name", entryDoc(func(m map[string]any) { m["name"] = "" }), "invalid entry name"},
+		{"long name", entryDoc(func(m map[string]any) { m["name"] = strings.Repeat("x", maxNameLen+1) }), "invalid entry name"},
+		{"missing ontology", entryDoc(func(m map[string]any) { delete(m, "ontology") }), "ontology is required"},
+		{"null ontology", entryDoc(func(m map[string]any) { m["ontology"] = nil }), "ontology is required"},
+		{"negative epsilon", entryDoc(func(m map[string]any) { m["epsilon"] = -0.5 }), "epsilon must be positive"},
+		{"lexicon out of range", entryDoc(func(m map[string]any) { m["lexicon"] = map[string]float64{"great": 2} }), "outside [-1, +1]"},
+		{"lexicon empty word", entryDoc(func(m map[string]any) { m["lexicon"] = map[string]float64{"": 0.5} }), "empty word"},
+		{"duplicate concept", entryDoc(func(m map[string]any) {
+			m["ontology"] = map[string]any{"concepts": []map[string]any{
+				{"name": "root"}, {"name": "root", "parents": []int{0}},
+			}}
+		}), "duplicate concept"},
+		{"edge to unknown concept", entryDoc(func(m map[string]any) {
+			m["ontology"] = map[string]any{"concepts": []map[string]any{
+				{"name": "root"}, {"name": "screen", "parents": []int{5}},
+			}}
+		}), "unknown concept"},
+		{"cycle", entryDoc(func(m map[string]any) {
+			// root -> a -> b -> a: every non-root concept has a parent but
+			// a and b form a cycle under the root.
+			m["ontology"] = map[string]any{"concepts": []map[string]any{
+				{"name": "root"},
+				{"name": "a", "parents": []int{0, 2}},
+				{"name": "b", "parents": []int{1}},
+			}}
+		}), "cycle"},
+		{"multiple roots", entryDoc(func(m map[string]any) {
+			m["ontology"] = map[string]any{"concepts": []map[string]any{
+				{"name": "root"}, {"name": "other root"},
+			}}
+		}), "multiple roots"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.data)
+			if err == nil {
+				t.Fatalf("Decode accepted %s", tc.data)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestNewEntryDefaults(t *testing.T) {
+	ont := randomDAG(t, rand.New(rand.NewSource(1)), 5)
+	e, err := NewEntry("dom", ont, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Epsilon != DefaultEpsilon {
+		t.Fatalf("epsilon 0 compiled to %v, want default %v", e.Epsilon, DefaultEpsilon)
+	}
+	if len(e.Version) != 16 {
+		t.Fatalf("version %q is not 16 hex chars", e.Version)
+	}
+	again, err := NewEntry("dom", ont, nil, DefaultEpsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Version != e.Version {
+		t.Fatalf("identical entries got different versions: %s vs %s", e.Version, again.Version)
+	}
+	rt := e.Runtime()
+	if rt.Name != "dom" || rt.Version != e.Version || rt.Metric.Ont != ont || rt.Pipeline == nil || len(rt.Payload) == 0 {
+		t.Fatalf("compiled runtime = %+v", rt)
+	}
+}

@@ -1,0 +1,171 @@
+package ontoreg
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testEntry(t *testing.T, name string, seed int64, eps float64) *Entry {
+	t.Helper()
+	e, err := NewEntry(name, randomDAG(t, rand.New(rand.NewSource(seed)), 10), nil, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRegistryRegisterLookupList(t *testing.T) {
+	r := NewRegistry(RegistryOptions{})
+	phoneV1 := testEntry(t, "phone", 1, 0.5)
+	phoneV2 := testEntry(t, "phone", 1, 0.7) // same DAG, new ε → new version
+	doctor := testEntry(t, "doctor", 2, 0.5)
+	for _, e := range []*Entry{phoneV1, phoneV2, doctor} {
+		if _, err := r.Register(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+
+	// Bare name resolves to the latest registered version.
+	if e, rt, ok := r.Lookup("phone"); !ok || e.Version != phoneV2.Version || rt.Version != phoneV2.Version {
+		t.Fatalf("Lookup(phone) = %v ok=%v, want latest %s", e, ok, phoneV2.Version)
+	}
+	// name@version pins one.
+	if e, _, ok := r.Lookup("phone@" + phoneV1.Version); !ok || e.Version != phoneV1.Version {
+		t.Fatalf("Lookup(phone@%s) failed", phoneV1.Version)
+	}
+	if _, _, ok := r.Lookup("phone@nope"); ok {
+		t.Fatal("Lookup resolved a bogus version")
+	}
+	if _, _, ok := r.Lookup("tablet"); ok {
+		t.Fatal("Lookup resolved an unregistered name")
+	}
+
+	// Re-registering the identical entry is idempotent and keeps the
+	// compiled runtime.
+	rt1, err := r.Register(phoneV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := r.Register(phoneV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt1 != rt2 || r.Len() != 3 {
+		t.Fatalf("re-register was not idempotent (len=%d)", r.Len())
+	}
+
+	list := r.List()
+	if len(list) != 3 {
+		t.Fatalf("List = %d rows, want 3", len(list))
+	}
+	if list[0].Name != "doctor" || list[1].Name != "phone" || list[2].Name != "phone" {
+		t.Fatalf("List order = %v", list)
+	}
+	for _, info := range list {
+		wantLatest := info.Version != phoneV1.Version
+		if info.Latest != wantLatest {
+			t.Fatalf("row %s@%s: Latest=%v, want %v", info.Name, info.Version, info.Latest, wantLatest)
+		}
+	}
+
+	// Active marker follows SetActive.
+	if r.Active() != nil {
+		t.Fatal("fresh registry has an active runtime")
+	}
+	_, rt, _ := r.Lookup("doctor")
+	r.SetActive(rt)
+	for _, info := range r.List() {
+		if info.Active != (info.Name == "doctor") {
+			t.Fatalf("row %s@%s: Active=%v", info.Name, info.Version, info.Active)
+		}
+	}
+}
+
+func TestRegistryPersistAndLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry(RegistryOptions{Dir: dir})
+	phone := testEntry(t, "phone", 3, 0.5)
+	doctor := testEntry(t, "doctor", 4, 0.6)
+	if _, err := r.Register(phone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(doctor); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh registry over the same directory restores both entries
+	// with identical versions (the file holds the canonical encoding).
+	r2 := NewRegistry(RegistryOptions{Dir: dir})
+	n, err := r2.LoadDir()
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if n != 2 || r2.Len() != 2 {
+		t.Fatalf("LoadDir loaded %d entries (len %d), want 2", n, r2.Len())
+	}
+	if e, _, ok := r2.Lookup("phone"); !ok || e.Version != phone.Version {
+		t.Fatalf("reloaded phone = %v, want version %s", e, phone.Version)
+	}
+	if e, _, ok := r2.Lookup("doctor@" + doctor.Version); !ok || e.Epsilon != 0.6 {
+		t.Fatalf("reloaded doctor = %v", e)
+	}
+}
+
+// TestLoadDirTornFile: a torn or corrupt entry file is skipped and
+// reported, every valid file still loads, and the active runtime is
+// untouched — a bad upload can never take down what is serving.
+func TestLoadDirTornFile(t *testing.T) {
+	dir := t.TempDir()
+	seed := NewRegistry(RegistryOptions{Dir: dir})
+	good := testEntry(t, "phone", 5, 0.5)
+	if _, err := seed.Register(good); err != nil {
+		t.Fatal(err)
+	}
+	// Torn write: a valid payload truncated mid-file.
+	torn := good.Payload()[:len(good.Payload())/2]
+	if err := os.WriteFile(filepath.Join(dir, "torn.json"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Structurally valid JSON that fails validation (cyclic DAG).
+	bad := entryDoc(func(m map[string]any) {
+		m["name"] = "cyclic"
+		m["ontology"] = map[string]any{"concepts": []map[string]any{
+			{"name": "root"},
+			{"name": "a", "parents": []int{0, 2}},
+			{"name": "b", "parents": []int{1}},
+		}}
+	})
+	if err := os.WriteFile(filepath.Join(dir, "cyclic.json"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegistry(RegistryOptions{Dir: dir})
+	active := testEntry(t, "serving", 6, 0.5).Runtime()
+	r.SetActive(active)
+
+	n, err := r.LoadDir()
+	if err == nil {
+		t.Fatal("LoadDir swallowed the torn and invalid files")
+	}
+	if !strings.Contains(err.Error(), "torn.json") || !strings.Contains(err.Error(), "cyclic.json") {
+		t.Fatalf("joined error %q does not name both bad files", err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d entries, want the 1 valid one", n)
+	}
+	if _, _, ok := r.Lookup("phone"); !ok {
+		t.Fatal("valid entry did not survive the partial load")
+	}
+	if _, _, ok := r.Lookup("cyclic"); ok {
+		t.Fatal("invalid entry was registered")
+	}
+	if r.Active() != active {
+		t.Fatal("partial load disturbed the active runtime")
+	}
+}

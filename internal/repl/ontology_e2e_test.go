@@ -1,0 +1,158 @@
+// Ontology replication e2e: an activation on the primary is one WAL
+// record like any other — it must ship through the replication stream,
+// swap the replica's active runtime in apply order relative to the
+// appends around it, and survive a replica that bootstraps from a
+// shipped snapshot. Run with -race.
+package repl_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"osars"
+	"osars/internal/dataset"
+	"osars/internal/server"
+)
+
+func phoneEntry(t *testing.T, eps float64) *osars.OntologyEntry {
+	t.Helper()
+	e, err := osars.NewOntologyEntry("phone", dataset.CellPhoneOntology(), nil, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// putEntry uploads an entry file over HTTP.
+func putEntry(t *testing.T, baseURL string, e *osars.OntologyEntry) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodPut, baseURL+"/v1/ontologies/"+e.Name, bytes.NewReader(e.Payload()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload %s: %d %s", e.Name, resp.StatusCode, data)
+	}
+}
+
+// TestOntologyActivationReplicates: upload + activate on the primary
+// with NO restart anywhere; the replica must converge to the same
+// active version through the WAL stream and label its summaries with
+// it, while refusing local activation.
+func TestOntologyActivationReplicates(t *testing.T) {
+	opts := osars.StoreOptions{Shards: 2}
+	p := startPrimary(t, t.TempDir(), opts)
+	defer p.st.Close()
+	p.srv.ConfigureOntologies(osars.NewOntologyRegistry(osars.OntologyRegistryOptions{}))
+	ph := httptest.NewServer(p.srv)
+	defer ph.Close()
+
+	rep := startReplica(t, t.TempDir(), opts, ph.URL)
+	defer rep.stop()
+	rep.srv.ConfigureOntologies(osars.NewOntologyRegistry(osars.OntologyRegistryOptions{}))
+
+	// Ingest under the boot runtime, then hot-swap on the primary.
+	ingest(t, ph.URL, 8, 2, 0)
+	e2 := phoneEntry(t, 0.9)
+	putEntry(t, ph.URL, e2)
+	resp, err := http.Post(ph.URL+"/v1/ontologies/phone/activate", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("activate: %d %s", resp.StatusCode, data)
+	}
+	// More appends AFTER the swap: the replica must apply them under
+	// the new runtime, which requires the activation record to land in
+	// stream order.
+	ingest(t, ph.URL, 8, 1, 1)
+
+	waitConverged(t, p.src, rep.tgt)
+	rt := rep.st.ActiveRuntime()
+	if rt.Name != "phone" || rt.Version != e2.Version {
+		t.Fatalf("replica runtime = %s@%s, want phone@%s", rt.Name, rt.Version, e2.Version)
+	}
+	if !bytes.Equal(rt.Payload, e2.Payload()) {
+		t.Fatal("replica's active entry payload is not byte-identical to the uploaded one")
+	}
+
+	// A replica read solves — and is labeled — under the replicated
+	// version.
+	var sum server.ItemSummaryResponse
+	if err := json.Unmarshal(readBody(t, rep.hs.URL, "/v1/items/item-00/summary?k=2"), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.OntologyVersion != e2.Version {
+		t.Fatalf("replica summary version = %q, want %q", sum.OntologyVersion, e2.Version)
+	}
+
+	// Upload to the replica's local registry is fine; ACTIVATION there
+	// is not — the active version is primary-owned, replicated state.
+	e3 := phoneEntry(t, 0.3)
+	putEntry(t, rep.hs.URL, e3)
+	resp, err = http.Post(rep.hs.URL+"/v1/ontologies/phone/activate", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("replica activate: %d %s, want 403", resp.StatusCode, data)
+	}
+	if rep.st.ActiveRuntime().Version != e2.Version {
+		t.Fatal("rejected activation still moved the replica's runtime")
+	}
+}
+
+// TestOntologyActivationViaSnapshotBootstrap: a replica that starts
+// AFTER the primary compacted the activation record into a snapshot
+// must adopt the active version from the shipped snapshot.
+func TestOntologyActivationViaSnapshotBootstrap(t *testing.T) {
+	opts := osars.StoreOptions{SnapshotEvery: -1}
+	p := startPrimary(t, t.TempDir(), opts)
+	defer p.st.Close()
+	p.srv.ConfigureOntologies(osars.NewOntologyRegistry(osars.OntologyRegistryOptions{}))
+	ph := httptest.NewServer(p.srv)
+	defer ph.Close()
+
+	ingest(t, ph.URL, 4, 2, 0)
+	e2 := phoneEntry(t, 0.9)
+	putEntry(t, ph.URL, e2)
+	if resp, err := http.Post(ph.URL+"/v1/ontologies/phone/activate", "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("activate: %d", resp.StatusCode)
+		}
+	}
+	// Snapshot + compact: the WAL no longer holds the activation, only
+	// the snapshot does.
+	if err := p.st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := startReplica(t, t.TempDir(), osars.StoreOptions{}, ph.URL)
+	defer rep.stop()
+	waitConverged(t, p.src, rep.tgt)
+	if rt := rep.st.ActiveRuntime(); rt.Version != e2.Version {
+		t.Fatalf("snapshot-bootstrapped replica runtime = %s@%s, want %s", rt.Name, rt.Version, e2.Version)
+	}
+	var sum server.ItemSummaryResponse
+	if err := json.Unmarshal(readBody(t, rep.hs.URL, "/v1/items/item-00/summary?k=2"), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.OntologyVersion != e2.Version {
+		t.Fatalf("replica summary version = %q, want %q", sum.OntologyVersion, e2.Version)
+	}
+}

@@ -148,9 +148,24 @@ const negationWindow = 3
 
 // Lexicon is the unsupervised estimator. The zero value is ready to
 // use and safe for concurrent use.
-type Lexicon struct{}
+type Lexicon struct {
+	// Table, when non-empty, replaces the built-in opinion lexicon's
+	// word→polarity table (values in [-1, +1]). Intensifiers and
+	// negators are structural English and stay shared. The zero value
+	// keeps the built-in behavior. The map must not be mutated after
+	// the Lexicon is in use.
+	Table map[string]float64
+}
 
 var _ Estimator = Lexicon{}
+
+// lexicon returns the effective word→polarity table.
+func (l Lexicon) lexicon() map[string]float64 {
+	if len(l.Table) > 0 {
+		return l.Table
+	}
+	return opinionLexicon
+}
 
 // Score is a convenience for scoring raw text (tokenizes first).
 func (l Lexicon) Score(sentence string) float64 {
@@ -162,11 +177,12 @@ func (l Lexicon) Score(sentence string) float64 {
 // and flipped by a preceding negator within the negation window; the
 // sentence score is the average contribution clamped to [-1, +1].
 // Sentences without opinion words score 0 (neutral).
-func (Lexicon) EstimateSentence(tokens []string) float64 {
+func (l Lexicon) EstimateSentence(tokens []string) float64 {
+	lex := l.lexicon()
 	total := 0.0
 	n := 0
 	for i, tok := range tokens {
-		prior, ok := opinionLexicon[tok]
+		prior, ok := lex[tok]
 		if !ok {
 			continue
 		}
@@ -187,7 +203,7 @@ func (Lexicon) EstimateSentence(tokens []string) float64 {
 				break
 			}
 			// Stop scanning past another content word.
-			if _, isOpinion := opinionLexicon[prev]; isOpinion {
+			if _, isOpinion := lex[prev]; isOpinion {
 				break
 			}
 			if tg := pos.TagWord(prev); tg == pos.Noun || tg == pos.Verb {

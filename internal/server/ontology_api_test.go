@@ -1,0 +1,227 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"osars"
+	"osars/internal/dataset"
+)
+
+// entryPayload builds an uploadable osars-ontology/v1 file for the
+// cell-phone ontology; eps differentiates versions.
+func entryPayload(t *testing.T, name string, eps float64) (*osars.OntologyEntry, []byte) {
+	t.Helper()
+	e, err := osars.NewOntologyEntry(name, dataset.CellPhoneOntology(), nil, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, e.Payload()
+}
+
+// ontoServer is a stateful server with the lifecycle admin API armed.
+func ontoServer(t *testing.T) (*Server, osars.Store, *osars.OntologyRegistry) {
+	t.Helper()
+	sum, err := osars.New(osars.Config{Ontology: dataset.CellPhoneOntology()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sum.OpenStore(osars.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := NewWithStore(sum, st)
+	reg := osars.NewOntologyRegistry(osars.OntologyRegistryOptions{})
+	srv.ConfigureOntologies(reg)
+	return srv, st, reg
+}
+
+// doRaw issues one request with a raw byte body.
+func doRaw(t *testing.T, srv http.Handler, method, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func TestOntologyAPIDisabledWithoutRegistry(t *testing.T) {
+	srv := testServer(t) // no ConfigureOntologies
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/ontologies"},
+		{http.MethodGet, "/v1/ontologies/phone"},
+		{http.MethodPut, "/v1/ontologies/phone"},
+		{http.MethodPost, "/v1/ontologies/phone/activate"},
+	} {
+		if w := doRaw(t, srv, probe.method, probe.path, nil); w.Code != http.StatusNotFound {
+			t.Fatalf("%s %s without a registry: status %d", probe.method, probe.path, w.Code)
+		}
+	}
+}
+
+func TestOntologyLifecycleAPI(t *testing.T) {
+	srv, st, _ := ontoServer(t)
+	e2, payload2 := entryPayload(t, "phone", 0.9)
+	bootVersion := st.ActiveRuntime().Version
+
+	// Upload: 201 on first sight, 200 on the idempotent re-upload.
+	w := doRaw(t, srv, http.MethodPut, "/v1/ontologies/phone", payload2)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", w.Code, w.Body.String())
+	}
+	var up UploadOntologyResponse
+	decode(t, w, &up)
+	if up.Name != "phone" || up.Version != e2.Version || !up.Created {
+		t.Fatalf("upload response = %+v", up)
+	}
+	w = doRaw(t, srv, http.MethodPut, "/v1/ontologies/phone", payload2)
+	if w.Code != http.StatusOK {
+		t.Fatalf("re-upload status %d: %s", w.Code, w.Body.String())
+	}
+	decode(t, w, &up)
+	if up.Created {
+		t.Fatal("re-upload claimed Created")
+	}
+
+	// Path/name mismatch and invalid bodies are rejected before the
+	// registry sees them.
+	if w := doRaw(t, srv, http.MethodPut, "/v1/ontologies/tablet", payload2); w.Code != http.StatusBadRequest {
+		t.Fatalf("name-mismatch upload status %d", w.Code)
+	}
+	if w := doRaw(t, srv, http.MethodPut, "/v1/ontologies/phone", []byte("{torn")); w.Code != http.StatusBadRequest {
+		t.Fatalf("torn upload status %d", w.Code)
+	}
+
+	// GET returns the canonical bytes (re-uploadable elsewhere).
+	w = doRaw(t, srv, http.MethodGet, "/v1/ontologies/phone@"+e2.Version, nil)
+	if w.Code != http.StatusOK || !bytes.Equal(w.Body.Bytes(), payload2) {
+		t.Fatalf("download: status %d, bytes match %v", w.Code, bytes.Equal(w.Body.Bytes(), payload2))
+	}
+	if w := doRaw(t, srv, http.MethodGet, "/v1/ontologies/nope", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("download of unknown entry: status %d", w.Code)
+	}
+
+	// List shows the upload; the active runtime is still the boot one.
+	var list ListOntologiesResponse
+	w = doRaw(t, srv, http.MethodGet, "/v1/ontologies", nil)
+	decode(t, w, &list)
+	if len(list.Entries) != 1 || list.Entries[0].Version != e2.Version {
+		t.Fatalf("list entries = %+v", list.Entries)
+	}
+	if list.Active.Version != bootVersion {
+		t.Fatalf("list active = %+v, want boot version %s", list.Active, bootVersion)
+	}
+
+	// Ingest an item, then hot-activate: no restart, no data loss.
+	w = do(t, srv, http.MethodPut, "/v1/items/p1/reviews", AppendReviewsRequest{
+		ItemName: "Acme Phone",
+		Reviews:  []RawReview{{ID: "r1", Text: "The screen is excellent. The battery is awful."}},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("append status %d: %s", w.Code, w.Body.String())
+	}
+
+	if w := doRaw(t, srv, http.MethodPost, "/v1/ontologies/nope/activate", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("activate unknown: status %d", w.Code)
+	}
+	if w := doRaw(t, srv, http.MethodPost, "/v1/ontologies/phone/activate?version=beef", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("activate unknown version: status %d", w.Code)
+	}
+	w = doRaw(t, srv, http.MethodPost, "/v1/ontologies/phone/activate", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("activate status %d: %s", w.Code, w.Body.String())
+	}
+	var act ActivateOntologyResponse
+	decode(t, w, &act)
+	if act.Active.Version != e2.Version || !act.Swapped {
+		t.Fatalf("activate response = %+v", act)
+	}
+	if rt := st.ActiveRuntime(); rt.Version != e2.Version {
+		t.Fatalf("store runtime after activate = %s, want %s", rt.Version, e2.Version)
+	}
+	// Re-activation reports Swapped=false.
+	w = doRaw(t, srv, http.MethodPost, "/v1/ontologies/phone/activate", nil)
+	decode(t, w, &act)
+	if act.Swapped {
+		t.Fatal("re-activation claimed a swap")
+	}
+
+	// The stored item now solves — and is labeled — under the new
+	// version (the pre-swap cache cannot answer).
+	w = do(t, srv, http.MethodGet, "/v1/items/p1/summary?k=2", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("summary status %d: %s", w.Code, w.Body.String())
+	}
+	var sum ItemSummaryResponse
+	decode(t, w, &sum)
+	if sum.OntologyVersion != e2.Version || sum.Ontology != "phone" {
+		t.Fatalf("post-swap summary runtime = %s@%s, want phone@%s", sum.Ontology, sum.OntologyVersion, e2.Version)
+	}
+
+	// /readyz and /v1/stats report the active identity.
+	var ready ReadyResponse
+	w = doRaw(t, srv, http.MethodGet, "/readyz", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("readyz status %d", w.Code)
+	}
+	decode(t, w, &ready)
+	if ready.Ontology.Name != "phone" || ready.Ontology.Version != e2.Version {
+		t.Fatalf("readyz ontology = %+v", ready.Ontology)
+	}
+	var stats StatsResponse
+	w = doRaw(t, srv, http.MethodGet, "/v1/stats", nil)
+	decode(t, w, &stats)
+	if stats.Ontology == nil || stats.Ontology.Version != e2.Version {
+		t.Fatalf("stats ontology = %+v", stats.Ontology)
+	}
+	if stats.Store == nil || stats.Store.ActiveOntologyVersion != e2.Version {
+		t.Fatalf("stats store ontology = %+v", stats.Store)
+	}
+}
+
+// TestSummarizePerRequestOntology: the stateless endpoint may pin a
+// registered domain per call; the active runtime is untouched.
+func TestSummarizePerRequestOntology(t *testing.T) {
+	srv, st, reg := ontoServer(t)
+	e2, _ := entryPayload(t, "phone-strict", 0.9)
+	if _, err := reg.Register(e2); err != nil {
+		t.Fatal(err)
+	}
+	before := st.ActiveRuntime().Version
+
+	req := SummarizeRequest{
+		ItemID:   "p1",
+		K:        2,
+		Ontology: "phone-strict",
+		Reviews:  []RawReview{{ID: "r1", Text: "The screen is excellent. The battery is awful."}},
+	}
+	w := do(t, srv, http.MethodPost, "/v1/summarize", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("summarize status %d: %s", w.Code, w.Body.String())
+	}
+	var resp SummarizeResponse
+	decode(t, w, &resp)
+	if resp.Ontology != "phone-strict" || resp.OntologyVersion != e2.Version {
+		t.Fatalf("per-request runtime = %s@%s, want phone-strict@%s", resp.Ontology, resp.OntologyVersion, e2.Version)
+	}
+	if st.ActiveRuntime().Version != before {
+		t.Fatal("per-request selection moved the active runtime")
+	}
+
+	req.Ontology = "nope"
+	if w := do(t, srv, http.MethodPost, "/v1/summarize", req); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown per-request ontology: status %d: %s", w.Code, w.Body.String())
+	}
+
+	// Without a registry, naming an ontology is a client error, not a
+	// silent fallback to the active one.
+	plain := testServer(t)
+	w = do(t, plain, http.MethodPost, "/v1/summarize", req)
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "registry") {
+		t.Fatalf("ontology selection without registry: status %d: %s", w.Code, w.Body.String())
+	}
+}

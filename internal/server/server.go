@@ -12,8 +12,8 @@
 // Endpoints:
 //
 //	GET    /healthz                  → 200 "ok" (liveness: the process serves)
-//	GET    /readyz                   → 200 "ready" | 503 (readiness: boot done, replica caught up)
-//	GET    /v1/ontology              → the configured ontology as JSON
+//	GET    /readyz                   → 200 {"status":"ready","ontology":{...}} | 503
+//	GET    /v1/ontology              → the ACTIVE ontology as JSON
 //	POST   /v1/summarize             → SummarizeRequest → SummarizeResponse (stateless)
 //	PUT    /v1/items/{id}/reviews    → AppendReviewsRequest → item stats (append-only ingest)
 //	GET    /v1/items/{id}            → item stats
@@ -22,6 +22,13 @@
 //	DELETE /v1/items/{id}            → {"deleted": true}
 //	GET    /v1/stats                 → StatsResponse (store + admission counters)
 //	GET    /metrics                  → Prometheus text exposition (404 until ConfigureObservability)
+//
+// Ontology lifecycle admin API (404 until ConfigureOntologies):
+//
+//	GET    /v1/ontologies                  → ListOntologiesResponse (registry listing + active)
+//	PUT    /v1/ontologies/{name}           → upload an osars-ontology/v1 entry file
+//	GET    /v1/ontologies/{name}           → the entry's canonical JSON ({name} may be name@version)
+//	POST   /v1/ontologies/{name}/activate  → hot-swap the store's active runtime (?version= pins one)
 //
 // The store behind the item API may be sharded (osars.StoreOptions
 // .Shards > 1): routing is invisible here — the Store interface hides
@@ -66,6 +73,10 @@ type SummarizeRequest struct {
 	Granularity string `json:"granularity"`
 	// Method: "greedy" (default), "rr", "ilp" or "local-search".
 	Method string `json:"method"`
+	// Ontology selects the domain to annotate and solve under: a
+	// registry reference, "name" (latest) or "name@version". Empty uses
+	// the active runtime. Requires ConfigureOntologies.
+	Ontology string `json:"ontology,omitempty"`
 }
 
 // RawReview is one review in a request.
@@ -85,7 +96,11 @@ type SummarizeResponse struct {
 	Pairs       []PairJSON `json:"pairs,omitempty"`
 	Sentences   []string   `json:"sentences,omitempty"`
 	ReviewIDs   []string   `json:"review_ids,omitempty"`
-	ElapsedMS   float64    `json:"elapsed_ms"`
+	// Ontology and OntologyVersion identify the runtime the summary was
+	// annotated and solved under.
+	Ontology        string  `json:"ontology,omitempty"`
+	OntologyVersion string  `json:"ontology_version,omitempty"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
 }
 
 // PairJSON renders a concept-sentiment pair with its concept name.
@@ -127,6 +142,9 @@ type StatsResponse struct {
 	Store        *osars.StoreStats `json:"store,omitempty"`
 	Admission    AdmissionStats    `json:"admission"`
 	PersistError string            `json:"persist_error,omitempty"`
+	// Ontology is the serving runtime's identity (the store's active
+	// runtime, or the summarizer's in stateless mode).
+	Ontology *OntologyInfo `json:"ontology,omitempty"`
 }
 
 // errorResponse is every non-2xx body. Primary is set on the 403 a
@@ -144,6 +162,9 @@ type Server struct {
 	sum   *osars.Summarizer
 	store osars.Store
 	mux   *http.ServeMux
+	// onto, when non-nil (ConfigureOntologies), enables the ontology
+	// lifecycle admin API and per-request ontology selection.
+	onto *osars.OntologyRegistry
 	// admission, when non-nil, gates the solve and read endpoint
 	// classes (see admission.go). Configure before serving traffic.
 	admission *admission
@@ -200,6 +221,14 @@ func NewWithStore(s *osars.Summarizer, st osars.Store) *Server {
 	srv.handle("GET /v1/items", srv.admit(readClass, srv.handleListItems))
 	srv.handle("DELETE /v1/items/{id}", srv.handleDeleteItem)
 	srv.handle("GET /v1/stats", srv.handleStats)
+	// The ontology admin API is instrumented (handle) but deliberately
+	// NOT admission-gated (no admit wrapper): an operator must be able
+	// to upload or roll back an ontology exactly when the server is
+	// saturated and shedding solve traffic.
+	srv.handle("GET /v1/ontologies", srv.handleListOntologies)
+	srv.handle("GET /v1/ontologies/{name}", srv.handleGetOntology)
+	srv.handle("PUT /v1/ontologies/{name}", srv.handlePutOntology)
+	srv.handle("POST /v1/ontologies/{name}/activate", srv.handleActivateOntology)
 	// Deliberately NOT wrapped in handle(): scraping must not show up
 	// in the request metrics, and must never be admission- or boot-
 	// gated (handleMetrics answers 404 until ConfigureObservability).
@@ -293,8 +322,11 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ready")
+	rt := s.activeRuntime()
+	writeJSON(w, http.StatusOK, ReadyResponse{
+		Status:   "ready",
+		Ontology: OntologyInfo{Name: rt.Name, Version: rt.Version},
+	})
 }
 
 func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {
@@ -302,7 +334,7 @@ func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.sum.Metric().Ont)
+	writeJSON(w, http.StatusOK, s.activeRuntime().Metric.Ont)
 }
 
 // decodeBody decodes a JSON request body under the byte budget,
@@ -361,25 +393,46 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Pin the request's runtime once: the active one, or — for
+	// multi-domain serving — the registry entry the request names.
+	rt := s.activeRuntime()
+	if req.Ontology != "" {
+		if s.onto == nil {
+			writeError(w, http.StatusBadRequest, "no ontology registry configured (per-request ontology selection is off)")
+			return
+		}
+		_, reqRT, ok := s.onto.Lookup(req.Ontology)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown ontology %q", req.Ontology))
+			return
+		}
+		rt = reqRT
+	}
+
 	start := time.Now()
-	item := s.sum.AnnotateItem(req.ItemID, req.ItemName, toReviews(req.Reviews))
-	summary, err := s.sum.Summarize(item, req.K, gran, method)
+	item := s.sum.AnnotateItemWith(rt, req.ItemID, req.ItemName, toReviews(req.Reviews))
+	summary, err := s.sum.SummarizeWith(rt, item, req.K, gran, method)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	resp := SummarizeResponse{
-		ItemID:      req.ItemID,
-		Granularity: gran.String(),
-		Method:      method.String(),
-		Cost:        summary.Cost,
-		NumPairs:    len(item.Pairs()),
-		Sentences:   summary.Sentences,
-		ReviewIDs:   summary.ReviewIDs,
-		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		ItemID:          req.ItemID,
+		Granularity:     gran.String(),
+		Method:          method.String(),
+		Cost:            summary.Cost,
+		NumPairs:        len(item.Pairs()),
+		Sentences:       summary.Sentences,
+		ReviewIDs:       summary.ReviewIDs,
+		Ontology:        rt.Name,
+		OntologyVersion: rt.Version,
+		ElapsedMS:       float64(time.Since(start).Microseconds()) / 1000,
 	}
 	for _, p := range summary.Pairs {
-		resp.Pairs = append(resp.Pairs, s.pairJSON(p))
+		resp.Pairs = append(resp.Pairs, PairJSON{
+			Concept:   rt.Metric.Ont.Name(p.Concept),
+			Sentiment: p.Sentiment,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -465,20 +518,32 @@ func (s *Server) handleItemSummary(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := ItemSummaryResponse{
 		SummarizeResponse: SummarizeResponse{
-			ItemID:      sum.ItemID,
-			Granularity: gran.String(),
-			Method:      method.String(),
-			Cost:        sum.Cost,
-			NumPairs:    sum.NumPairs,
-			Sentences:   sum.Sentences,
-			ReviewIDs:   sum.ReviewIDs,
-			ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+			ItemID:          sum.ItemID,
+			Granularity:     gran.String(),
+			Method:          method.String(),
+			Cost:            sum.Cost,
+			NumPairs:        sum.NumPairs,
+			Sentences:       sum.Sentences,
+			ReviewIDs:       sum.ReviewIDs,
+			Ontology:        sum.Ontology,
+			OntologyVersion: sum.OntologyVersion,
+			ElapsedMS:       float64(time.Since(start).Microseconds()) / 1000,
 		},
 		Generation: sum.Generation,
 		Cached:     cached,
 	}
-	for _, p := range sum.Pairs {
-		resp.Pairs = append(resp.Pairs, s.pairJSON(p))
+	// Concept names were captured at solve time under the SOLVING
+	// ontology (store.Summary.Concepts) — resolving the ConceptIDs here
+	// against the currently active ontology would be wrong the moment an
+	// activation lands between solve and render.
+	for i, p := range sum.Pairs {
+		pj := PairJSON{Sentiment: p.Sentiment}
+		if i < len(sum.Concepts) {
+			pj.Concept = sum.Concepts[i]
+		} else {
+			pj.Concept = s.activeRuntime().Metric.Ont.Name(p.Concept)
+		}
+		resp.Pairs = append(resp.Pairs, pj)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -524,6 +589,8 @@ func (s *Server) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{Admission: s.admission.stats()}
+	rt := s.activeRuntime()
+	resp.Ontology = &OntologyInfo{Name: rt.Name, Version: rt.Version}
 	if store := s.Store(); store != nil {
 		st := store.Stats()
 		resp.Store = &st
@@ -532,13 +599,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) pairJSON(p osars.Pair) PairJSON {
-	return PairJSON{
-		Concept:   s.sum.Metric().Ont.Name(p.Concept),
-		Sentiment: p.Sentiment,
-	}
 }
 
 func toReviews(in []RawReview) []osars.Review {

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"testing"
+
+	"osars/internal/dataset"
+	"osars/internal/model"
+	"osars/internal/ontoreg"
+	"osars/internal/store"
+)
+
+func phoneRuntime(t *testing.T, eps float64) *ontoreg.Runtime {
+	t.Helper()
+	e, err := ontoreg.NewEntry("phone", dataset.CellPhoneOntology(), nil, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Runtime()
+}
+
+// TestActivateFansOutToEveryShard: activation must land on ALL shards
+// — the aggregate stats report one coherent active version and every
+// shard's own runtime agrees, no matter which shard an item routes to.
+func TestActivateFansOutToEveryShard(t *testing.T) {
+	v2 := phoneRuntime(t, 0.9)
+	s := newSharded(t, 4, "")
+	ids := genIDs(40)
+	for _, id := range ids {
+		if _, err := s.AppendReviews(id, "Item "+id, phoneReviews); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := s.ActivateOntology(v2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.NumShards(); i++ {
+		rt := s.Shard(i).ActiveRuntime()
+		if rt.Version != v2.Version {
+			t.Fatalf("shard %d runtime = %s@%s, want %s", i, rt.Name, rt.Version, v2.Version)
+		}
+	}
+	if rt := s.ActiveRuntime(); rt.Version != v2.Version {
+		t.Fatalf("aggregate runtime = %s, want %s", rt.Version, v2.Version)
+	}
+
+	st := s.Stats()
+	if st.ActiveOntology != "phone" || st.ActiveOntologyVersion != v2.Version {
+		t.Fatalf("aggregate identity = %s@%s", st.ActiveOntology, st.ActiveOntologyVersion)
+	}
+	if st.StaleItems != len(ids) {
+		t.Fatalf("aggregate stale = %d, want %d", st.StaleItems, len(ids))
+	}
+	if st.OntologyActivations != uint64(s.NumShards()) {
+		t.Fatalf("aggregate activations = %d, want one per shard (%d)", st.OntologyActivations, s.NumShards())
+	}
+
+	// Solving every item drains the stale count across all shards.
+	for _, id := range ids {
+		sum, _, err := s.Summary(id, 3, model.GranularitySentences, store.MethodGreedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.OntologyVersion != v2.Version {
+			t.Fatalf("item %s solved under %s, want %s", id, sum.OntologyVersion, v2.Version)
+		}
+	}
+	if st := s.Stats(); st.StaleItems != 0 || st.Reannotations != uint64(len(ids)) {
+		t.Fatalf("after solving all: stale=%d reann=%d, want 0/%d", st.StaleItems, st.Reannotations, len(ids))
+	}
+}
+
+// TestShardedActivationSurvivesRestart: every shard logs the
+// activation in its own WAL, so a reopened sharded store agrees on the
+// active version without any cross-shard coordination at boot.
+func TestShardedActivationSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	v2 := phoneRuntime(t, 0.9)
+
+	s := newSharded(t, 3, dir)
+	for _, id := range genIDs(12) {
+		if _, err := s.AppendReviews(id, "Item "+id, phoneReviews[:2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.ActivateOntology(v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newSharded(t, 3, dir)
+	defer s2.Close()
+	for i := 0; i < s2.NumShards(); i++ {
+		if rt := s2.Shard(i).ActiveRuntime(); rt.Version != v2.Version {
+			t.Fatalf("shard %d recovered %s@%s, want %s", i, rt.Name, rt.Version, v2.Version)
+		}
+	}
+	if st := s2.Stats(); st.ActiveOntologyVersion != v2.Version || st.Items != 12 {
+		t.Fatalf("recovered stats = %+v", st)
+	}
+}

@@ -44,6 +44,7 @@ import (
 
 	"osars/internal/extract"
 	"osars/internal/model"
+	"osars/internal/ontoreg"
 	"osars/internal/store"
 )
 
@@ -80,6 +81,11 @@ type Config struct {
 type ShardedStore struct {
 	seed   uint64
 	shards []*store.Store
+
+	// activeMu serializes ActivateOntology fan-outs so two concurrent
+	// activations can not interleave across shards and leave them on
+	// different versions.
+	activeMu sync.Mutex
 
 	recovered bool
 	recovery  store.RecoveryStats
@@ -470,6 +476,10 @@ func (s *ShardedStore) Stats() store.Stats {
 	per := make([]store.Stats, len(s.shards))
 	s.fanOut(func(i int) { per[i] = s.shards[i].Stats() })
 	agg := store.Stats{Shards: len(s.shards), PerShard: per}
+	if len(per) > 0 {
+		agg.ActiveOntology = per[0].ActiveOntology
+		agg.ActiveOntologyVersion = per[0].ActiveOntologyVersion
+	}
 	for i := range per {
 		p := &per[i]
 		agg.Items += p.Items
@@ -480,6 +490,15 @@ func (s *ShardedStore) Stats() store.Stats {
 		agg.CacheEntries += p.CacheEntries
 		agg.CacheBytes += p.CacheBytes
 		agg.CacheEvictions += p.CacheEvictions
+		agg.StaleItems += p.StaleItems
+		agg.Reannotations += p.Reannotations
+		agg.OntologyActivations += p.OntologyActivations
+		if p.ActiveOntologyVersion != agg.ActiveOntologyVersion {
+			// A transient mid-activation scrape; never report one shard's
+			// version as the whole corpus's.
+			agg.ActiveOntology = "mixed"
+			agg.ActiveOntologyVersion = "mixed"
+		}
 		if p.Durable {
 			agg.Durable = true
 			agg.WALSegments += p.WALSegments
@@ -490,6 +509,29 @@ func (s *ShardedStore) Stats() store.Stats {
 		}
 	}
 	return agg
+}
+
+// ActivateOntology hot-swaps the active ontology runtime on every
+// shard (parallel fan-out; all shards are attempted, errors joined).
+// Concurrent activations are serialized, so after any successful call
+// every shard is on the same version; each shard logs its own activate
+// record, so per-shard WALs and replication streams stay independent.
+func (s *ShardedStore) ActivateOntology(rt *ontoreg.Runtime) error {
+	s.activeMu.Lock()
+	defer s.activeMu.Unlock()
+	errs := make([]error, len(s.shards))
+	s.fanOut(func(i int) {
+		if err := s.shards[i].ActivateOntology(rt); err != nil {
+			errs[i] = fmt.Errorf("shard %d: %w", i, err)
+		}
+	})
+	return errors.Join(errs...)
+}
+
+// ActiveRuntime returns shard 0's active runtime. Shards only diverge
+// transiently, mid-activation (or mid-catch-up on a replica).
+func (s *ShardedStore) ActiveRuntime() *ontoreg.Runtime {
+	return s.shards[0].ActiveRuntime()
 }
 
 // Snapshot forces a snapshot + WAL compaction on every shard

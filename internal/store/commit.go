@@ -47,6 +47,7 @@ import (
 
 	"osars/internal/extract"
 	"osars/internal/model"
+	"osars/internal/ontoreg"
 )
 
 // errStoreClosed is returned to writers that race Close.
@@ -60,9 +61,12 @@ type commitReq struct {
 	id        string
 	name      string
 	ts        time.Time
-	annotated []model.Review // pre-annotated reviews (appends only)
-	enc       *encodeBuf     // pooled encode scratch; payload aliases it
-	payload   []byte         // JSON walRecord, valid until release()
+	raws      []extract.RawReview // raw reviews (appends only)
+	annotated []model.Review      // pre-annotated reviews (appends only)
+	annVer    string              // runtime version that annotated them
+	rt        *ontoreg.Runtime    // runtime to activate (opActivate only)
+	enc       *encodeBuf          // pooled encode scratch; payload aliases it
+	payload   []byte              // JSON walRecord, valid until release()
 
 	// Results, written by the committing leader before it flips done
 	// under the queue lock; the staging writer reads them after
@@ -92,7 +96,7 @@ var commitReqPool = sync.Pool{New: func() any { return new(commitReq) }}
 
 // newCommitReq builds a staged request, JSON-encoding the record into
 // a pooled buffer. Called by writers before they touch any store lock.
-func newCommitReq(op, id, name string, ts time.Time, reviews []extract.RawReview, annotated []model.Review) (*commitReq, error) {
+func newCommitReq(op, id, name string, ts time.Time, reviews []extract.RawReview, annotated []model.Review, annVer string) (*commitReq, error) {
 	e := encodePool.Get().(*encodeBuf)
 	rec := walRecord{Op: op, ID: id, Name: name, TS: ts}
 	if len(reviews) > 0 {
@@ -112,7 +116,26 @@ func newCommitReq(op, id, name string, ts time.Time, reviews []extract.RawReview
 	payload = payload[:len(payload)-1] // drop Encode's trailing newline
 
 	req := commitReqPool.Get().(*commitReq)
-	*req = commitReq{op: op, id: id, name: name, ts: ts, annotated: annotated, enc: e, payload: payload}
+	*req = commitReq{op: op, id: id, name: name, ts: ts, raws: reviews, annotated: annotated, annVer: annVer, enc: e, payload: payload}
+	return req, nil
+}
+
+// newActivateReq builds a staged ontology-activation request. The
+// record embeds the runtime's canonical entry payload, so replay and
+// replicas reconstruct the exact runtime from the log alone.
+func newActivateReq(rt *ontoreg.Runtime, ts time.Time) (*commitReq, error) {
+	e := encodePool.Get().(*encodeBuf)
+	rec := walRecord{Op: opActivate, TS: ts, Entry: rt.Payload}
+	e.buf.Reset()
+	if err := e.enc.Encode(&rec); err != nil {
+		e.recycle()
+		return nil, err
+	}
+	payload := e.buf.Bytes()
+	payload = payload[:len(payload)-1]
+
+	req := commitReqPool.Get().(*commitReq)
+	*req = commitReq{op: opActivate, ts: ts, rt: rt, enc: e, payload: payload}
 	return req, nil
 }
 
@@ -272,7 +295,7 @@ func (p *persister) commitBatch(batch []*commitReq) {
 	for i, r := range batch {
 		switch r.op {
 		case opAppend:
-			r.stats = s.applyAppendLocked(r.id, r.name, r.annotated, r.ts)
+			r.stats = s.applyAppendLocked(r.id, r.name, r.raws, r.annotated, r.annVer, r.ts)
 			s.appends.Add(1)
 		case opDelete:
 			if _, ok := s.items[r.id]; ok {
@@ -280,6 +303,8 @@ func (p *persister) commitBatch(batch []*commitReq) {
 				s.cache.PurgeItem(r.id)
 				r.existed = true
 			}
+		case opActivate:
+			s.setRuntimeLocked(r.rt)
 		}
 		p.noteLoggedLocked(firstSeq + uint64(i))
 	}
@@ -288,7 +313,7 @@ func (p *persister) commitBatch(batch []*commitReq) {
 
 // commitAppend is the durable ingest path: no-op filter, off-lock
 // encode, group commit. Returns the post-apply item stats.
-func (p *persister) commitAppend(id, name string, ts time.Time, reviews []extract.RawReview, annotated []model.Review) (ItemStats, error) {
+func (p *persister) commitAppend(id, name string, ts time.Time, reviews []extract.RawReview, annotated []model.Review, annVer string) (ItemStats, error) {
 	s := p.s
 	// Appending nothing to an existing item without a rename is a
 	// no-op and must not reach the log. (A write that races this check
@@ -303,7 +328,7 @@ func (p *persister) commitAppend(id, name string, ts time.Time, reviews []extrac
 	}
 	s.mu.RUnlock()
 
-	req, err := newCommitReq(opAppend, id, name, ts, reviews, annotated)
+	req, err := newCommitReq(opAppend, id, name, ts, reviews, annotated, annVer)
 	if err != nil {
 		return ItemStats{}, err
 	}
@@ -311,6 +336,22 @@ func (p *persister) commitAppend(id, name string, ts time.Time, reviews []extrac
 	stats := req.stats
 	req.release()
 	return stats, err
+}
+
+// commitActivate is the durable ontology-activation path: the entry
+// payload is logged (and synced) through the same group-commit queue
+// appends use, so WAL order equals apply order — an append staged
+// after an activation is annotated under the old runtime but applied
+// after the swap, which applyAppendLocked resolves by marking the item
+// mixed (it re-annotates lazily).
+func (p *persister) commitActivate(rt *ontoreg.Runtime) error {
+	req, err := newActivateReq(rt, time.Now())
+	if err != nil {
+		return err
+	}
+	err = p.q.commit(p, req)
+	req.release()
+	return err
 }
 
 // commitDelete is the durable delete path: existence filter, off-lock
@@ -326,7 +367,7 @@ func (p *persister) commitDelete(id string, ts time.Time) (bool, error) {
 		return false, nil
 	}
 
-	req, err := newCommitReq(opDelete, id, "", ts, nil, nil)
+	req, err := newCommitReq(opDelete, id, "", ts, nil, nil, "")
 	if err != nil {
 		return false, err
 	}

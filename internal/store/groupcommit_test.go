@@ -90,8 +90,9 @@ func TestGroupCommitKillPoints(t *testing.T) {
 			Text:   phoneReviews[i].Text,
 			Rating: phoneReviews[i].Rating,
 		}}
-		annotated := s.pipeline.AnnotateReviews(reviews, 0)
-		req, err := newCommitReq(opAppend, id, "Item "+id, ts.Add(time.Duration(i)*time.Second), reviews, annotated)
+		rt := s.rt.Load()
+		annotated := rt.Pipeline.AnnotateReviews(reviews, 0)
+		req, err := newCommitReq(opAppend, id, "Item "+id, ts.Add(time.Duration(i)*time.Second), reviews, annotated, rt.Version)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -20,6 +20,11 @@ type storeMetrics struct {
 	commitBatch     *obs.Histogram // group-commit batch size (records per durable commit)
 	snapshotSeconds *obs.Histogram // snapshot + WAL compaction duration
 
+	// Ontology lifecycle instruments.
+	reannotations *obs.Counter   // lazy re-annotations after an ontology swap
+	reannSeconds  *obs.Histogram // per-item re-annotation latency
+	activations   *obs.Counter   // ontology runtime swaps applied
+
 	// WAL instruments, injected into wal.Options at Open.
 	walFsync     *obs.Histogram
 	walBytes     *obs.Counter
@@ -51,6 +56,14 @@ func newStoreMetrics(reg *obs.Registry, shard string) storeMetrics {
 		snapshotSeconds: reg.HistogramVec("osars_wal_snapshot_seconds",
 			"Snapshot write + WAL compaction duration in seconds.",
 			nil, "shard").With(shard),
+		reannotations: reg.CounterVec("osars_store_reannotations_total",
+			"Items lazily re-annotated after an ontology swap.", "shard").With(shard),
+		reannSeconds: reg.HistogramVec("osars_store_reannotation_seconds",
+			"Per-item corpus re-annotation latency in seconds.",
+			nil, "shard").With(shard),
+		activations: reg.CounterVec("osars_store_ontology_activations_total",
+			"Ontology runtime activations applied (local, replayed or replicated).",
+			"shard").With(shard),
 		walFsync: reg.HistogramVec("osars_wal_fsync_seconds",
 			"WAL fsync latency in seconds (real syncs only; no-op syncs are skipped).",
 			nil, "shard").With(shard),

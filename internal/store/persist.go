@@ -18,7 +18,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"osars/internal/extract"
 	"osars/internal/model"
+	"osars/internal/ontoreg"
 	"osars/internal/wal"
 )
 
@@ -79,6 +81,10 @@ const (
 const (
 	opAppend = "append"
 	opDelete = "delete"
+	// opActivate logs an ontology activation: the record carries the
+	// full canonical entry payload, so replay (and a replica) rebuilds
+	// the exact runtime without consulting any registry directory.
+	opActivate = "activate"
 )
 
 // walReview is one raw review inside a logged append. The RAW text is
@@ -98,10 +104,16 @@ type walRecord struct {
 	Name    string      `json:"name,omitempty"`
 	TS      time.Time   `json:"ts"`
 	Reviews []walReview `json:"reviews,omitempty"`
+	// Entry is the canonical ontology entry payload of an opActivate
+	// record (ontoreg format, content-hash versioned).
+	Entry json.RawMessage `json:"entry,omitempty"`
 }
 
 // snapItem is one item inside a snapshot: the annotated corpus plus
-// the entry bookkeeping (generation, counters, timestamps).
+// the entry bookkeeping (generation, counters, timestamps). Raws and
+// AnnVer (ontology lifecycle state) are append-only additions — old
+// snapshots without them still load, with the raws reconstructed
+// lazily from the annotated corpus when first needed.
 type snapItem struct {
 	ID           string      `json:"id"`
 	Gen          uint64      `json:"gen"`
@@ -110,15 +122,23 @@ type snapItem struct {
 	CreatedAt    time.Time   `json:"created_at"`
 	UpdatedAt    time.Time   `json:"updated_at"`
 	Item         *model.Item `json:"item"`
+	AnnVer       string      `json:"ann_ver,omitempty"`
+	Raws         []walReview `json:"raws,omitempty"`
 }
 
-// snapFile is the JSON payload of one snapshot.
+// snapFile is the JSON payload of one snapshot. ActiveEntry embeds the
+// active ontology entry so compaction can retire the WAL segment that
+// held the activate record without losing the active version — a
+// restored store is on the right ontology before the first replayed
+// record applies.
 type snapFile struct {
-	Schema  string     `json:"schema"`
-	LastSeq uint64     `json:"last_seq"`
-	NextGen uint64     `json:"next_gen"`
-	Appends uint64     `json:"appends"`
-	Items   []snapItem `json:"items"`
+	Schema      string          `json:"schema"`
+	LastSeq     uint64          `json:"last_seq"`
+	NextGen     uint64          `json:"next_gen"`
+	Appends     uint64          `json:"appends"`
+	ActiveEntry json.RawMessage `json:"active_entry,omitempty"`
+	Activations uint64          `json:"activations,omitempty"`
+	Items       []snapItem      `json:"items"`
 }
 
 const snapSchema = "osars-store-snapshot/v1"
@@ -229,16 +249,20 @@ func openPersistence(s *Store, cfg Config) error {
 		if snap.Schema != snapSchema {
 			return fmt.Errorf("store: unknown snapshot schema %q", snap.Schema)
 		}
+		// Restore the active ontology BEFORE the items: annVer defaults
+		// and the replay pipeline both key off it.
+		if len(snap.ActiveEntry) > 0 {
+			rt, err := runtimeFromEntry(snap.ActiveEntry)
+			if err != nil {
+				return fmt.Errorf("store: snapshot active ontology: %w", err)
+			}
+			s.rt.Store(rt)
+		}
+		s.activations.Store(snap.Activations)
+		ver := s.rt.Load().Version
 		for i := range snap.Items {
 			it := &snap.Items[i]
-			s.items[it.ID] = &entry{
-				item:         it.Item,
-				gen:          it.Gen,
-				numSentences: it.NumSentences,
-				numPairs:     it.NumPairs,
-				createdAt:    it.CreatedAt,
-				updatedAt:    it.UpdatedAt,
-			}
+			s.items[it.ID] = entryFromSnap(it, ver)
 		}
 		s.nextGen = snap.NextGen
 		s.appends.Store(snap.Appends)
@@ -280,7 +304,9 @@ func openPersistence(s *Store, cfg Config) error {
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return fmt.Errorf("record %d: %w", seq, err)
 		}
-		s.applyWalRecord(&rec)
+		if err := s.applyWalRecord(&rec); err != nil {
+			return fmt.Errorf("record %d: %w", seq, err)
+		}
 		replayed++
 		return nil
 	})
@@ -306,15 +332,75 @@ func openPersistence(s *Store, cfg Config) error {
 // applyWalRecord applies one replayed record. Deletes need no cache
 // work at boot (the cache starts empty), but the shared Delete path is
 // not used because replay must not re-log. The same record path runs
-// on read replicas via ApplyReplicated (replica.go).
-func (s *Store) applyWalRecord(rec *walRecord) {
+// on read replicas via ApplyReplicated (replica.go). Appends annotate
+// under the runtime active AT THIS POINT of the log — activate records
+// swap it mid-replay exactly as they did in live history.
+func (s *Store) applyWalRecord(rec *walRecord) error {
+	var raws []extract.RawReview
 	var annotated []model.Review
-	if rec.Op == opAppend {
-		annotated = s.pipeline.AnnotateReviews(rawReviews(rec.Reviews), 0)
+	var annVer string
+	var actRT *ontoreg.Runtime
+	switch rec.Op {
+	case opAppend:
+		rt := s.rt.Load()
+		raws = rawReviews(rec.Reviews)
+		annotated = rt.Pipeline.AnnotateReviews(raws, 0)
+		annVer = rt.Version
+	case opActivate:
+		rt, err := runtimeFromEntry(rec.Entry)
+		if err != nil {
+			return err
+		}
+		actRT = rt
 	}
 	s.mu.Lock()
-	s.applyRecordLocked(rec, annotated)
+	s.applyRecordLocked(rec, raws, annotated, annVer, actRT)
 	s.mu.Unlock()
+	return nil
+}
+
+// runtimeFromEntry decodes a canonical ontology entry payload (from an
+// activate record or a snapshot's ActiveEntry) and compiles its
+// runtime.
+func runtimeFromEntry(data []byte) (*ontoreg.Runtime, error) {
+	e, err := ontoreg.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return e.Runtime(), nil
+}
+
+// entryFromSnap rebuilds one item entry from its snapshot form. ver is
+// the restored active runtime's version, assumed for items from old
+// snapshots that predate per-item annotation versions (those snapshots
+// also predate activation records, so the config runtime that wrote
+// them is the one restoring them).
+func entryFromSnap(it *snapItem, ver string) *entry {
+	e := &entry{
+		item:         it.Item,
+		gen:          it.Gen,
+		numSentences: it.NumSentences,
+		numPairs:     it.NumPairs,
+		createdAt:    it.CreatedAt,
+		updatedAt:    it.UpdatedAt,
+		annVer:       it.AnnVer,
+	}
+	if e.annVer == "" {
+		e.annVer = ver
+	}
+	if len(it.Raws) > 0 {
+		e.raws = rawReviews(it.Raws)
+	}
+	return e
+}
+
+// walReviews converts raw reviews to their logged form.
+func walReviews(raws []extract.RawReview) []walReview {
+	out := make([]walReview, len(raws))
+	for i, r := range raws {
+		out[i] = walReview{ID: r.ID, Text: r.Text, Rating: r.Rating}
+	}
+	return out
 }
 
 // noteLoggedLocked advances the applied position and drives the
@@ -375,12 +461,18 @@ func (p *persister) snapshot() error {
 		s.mu.RUnlock()
 		return nil // nothing new since the last snapshot
 	}
+	// The runtime is read under the same lock as appliedSeq: swaps
+	// happen under s.mu, so the snapshot's ActiveEntry is exactly the
+	// runtime active at its LastSeq cut.
+	rt := s.rt.Load()
 	snap := snapFile{
-		Schema:  snapSchema,
-		LastSeq: seq,
-		NextGen: s.nextGen,
-		Appends: s.appends.Load(),
-		Items:   make([]snapItem, 0, len(s.items)),
+		Schema:      snapSchema,
+		LastSeq:     seq,
+		NextGen:     s.nextGen,
+		Appends:     s.appends.Load(),
+		ActiveEntry: rt.Payload,
+		Activations: s.activations.Load(),
+		Items:       make([]snapItem, 0, len(s.items)),
 	}
 	for id, e := range s.items {
 		snap.Items = append(snap.Items, snapItem{
@@ -391,6 +483,8 @@ func (p *persister) snapshot() error {
 			CreatedAt:    e.createdAt,
 			UpdatedAt:    e.updatedAt,
 			Item:         e.item,
+			AnnVer:       e.annVer,
+			Raws:         walReviews(e.raws),
 		})
 	}
 	s.mu.RUnlock()

@@ -23,6 +23,7 @@ import (
 
 	"osars/internal/extract"
 	"osars/internal/model"
+	"osars/internal/ontoreg"
 	"osars/internal/wal"
 )
 
@@ -82,11 +83,24 @@ func (s *Store) ApplyReplicated(seq uint64, payload []byte) error {
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return fmt.Errorf("store: replicated record %d: %w", seq, err)
 	}
-	// Annotation is the expensive part; run it outside the lock, like
-	// the live ingest path does.
+	// Annotation (and activate-entry compilation) is the expensive
+	// part; run it outside the lock, like the live ingest path does.
+	var raws []extract.RawReview
 	var annotated []model.Review
-	if rec.Op == opAppend {
-		annotated = s.pipeline.AnnotateReviews(rawReviews(rec.Reviews), 0)
+	var annVer string
+	var actRT *ontoreg.Runtime
+	switch rec.Op {
+	case opAppend:
+		rt := s.rt.Load()
+		raws = rawReviews(rec.Reviews)
+		annotated = rt.Pipeline.AnnotateReviews(raws, 0)
+		annVer = rt.Version
+	case opActivate:
+		rt, err := runtimeFromEntry(rec.Entry)
+		if err != nil {
+			return fmt.Errorf("store: replicated record %d: %w", seq, err)
+		}
+		actRT = rt
 	}
 
 	s.mu.Lock()
@@ -115,21 +129,23 @@ func (s *Store) ApplyReplicated(seq uint64, payload []byte) error {
 	} else {
 		s.replApplied = seq
 	}
-	s.applyRecordLocked(&rec, annotated)
+	s.applyRecordLocked(&rec, raws, annotated, annVer, actRT)
 	return nil
 }
 
 // applyRecordLocked applies one decoded WAL record under s.mu, with
-// annotation already done. Shared by ApplyReplicated and (via
-// applyWalRecord) boot-time replay.
-func (s *Store) applyRecordLocked(rec *walRecord, annotated []model.Review) {
+// annotation (and activate-runtime compilation) already done. Shared
+// by ApplyReplicated and (via applyWalRecord) boot-time replay.
+func (s *Store) applyRecordLocked(rec *walRecord, raws []extract.RawReview, annotated []model.Review, annVer string, actRT *ontoreg.Runtime) {
 	switch rec.Op {
 	case opAppend:
-		s.applyAppendLocked(rec.ID, rec.Name, annotated, rec.TS)
+		s.applyAppendLocked(rec.ID, rec.Name, raws, annotated, annVer, rec.TS)
 		s.appends.Add(1)
 	case opDelete:
 		delete(s.items, rec.ID)
 		s.cache.PurgeItem(rec.ID)
+	case opActivate:
+		s.setRuntimeLocked(actRT)
 	}
 }
 
@@ -182,17 +198,20 @@ func (s *Store) InstallSnapshot(seq uint64, payload []byte) error {
 	} else {
 		s.replApplied = seq
 	}
+	// Adopt the primary's active ontology before the items, so annVer
+	// defaults line up (old-format snapshots carry neither).
+	if len(snap.ActiveEntry) > 0 {
+		rt, err := runtimeFromEntry(snap.ActiveEntry)
+		if err != nil {
+			return fmt.Errorf("store: shipped snapshot active ontology: %w", err)
+		}
+		s.rt.Store(rt)
+	}
+	s.activations.Store(snap.Activations)
+	ver := s.rt.Load().Version
 	s.items = make(map[string]*entry, len(snap.Items))
 	for i := range snap.Items {
-		it := &snap.Items[i]
-		s.items[it.ID] = &entry{
-			item:         it.Item,
-			gen:          it.Gen,
-			numSentences: it.NumSentences,
-			numPairs:     it.NumPairs,
-			createdAt:    it.CreatedAt,
-			updatedAt:    it.UpdatedAt,
-		}
+		s.items[snap.Items[i].ID] = entryFromSnap(&snap.Items[i], ver)
 	}
 	s.nextGen = snap.NextGen
 	s.appends.Store(snap.Appends)

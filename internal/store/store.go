@@ -33,6 +33,7 @@ import (
 	"osars/internal/extract"
 	"osars/internal/model"
 	"osars/internal/obs"
+	"osars/internal/ontoreg"
 	"osars/internal/summarize"
 )
 
@@ -74,10 +75,20 @@ const (
 
 // Config configures a Store.
 type Config struct {
-	// Metric is the Definition-1/2 metric (required: Metric.Ont != nil).
+	// Metric is the Definition-1/2 metric (required unless Runtime is
+	// set: Metric.Ont != nil).
 	Metric model.Metric
-	// Pipeline annotates incoming reviews (required).
+	// Pipeline annotates incoming reviews (required unless Runtime is
+	// set).
 	Pipeline *extract.Pipeline
+	// Runtime, when non-nil, supplies the initial active ontology
+	// runtime (metric + pipeline + version identity) and takes
+	// precedence over Metric/Pipeline. When nil, one is synthesized
+	// from Metric/Pipeline with the unversioned "config" identity.
+	// The active runtime can later be hot-swapped with
+	// ActivateOntology; on a durable store a recovered activation
+	// record overrides this initial value.
+	Runtime *ontoreg.Runtime
 	// Seed drives randomized rounding (default 1).
 	Seed int64
 	// MaxCacheEntries bounds the summary cache entry count
@@ -129,9 +140,13 @@ type Config struct {
 // Store is the in-memory corpus. All methods are safe for concurrent
 // use.
 type Store struct {
-	metric   model.Metric
-	pipeline *extract.Pipeline
-	seed     int64
+	// rt is the active ontology runtime (metric + pipeline + version).
+	// Reads are lock-free loads; swaps (ActivateOntology, WAL replay,
+	// replica apply) happen under s.mu so they are ordered with the
+	// applied-sequence bookkeeping. A request pins the runtime it loads
+	// and finishes on it — the swap only redirects FUTURE requests.
+	rt   atomic.Pointer[ontoreg.Runtime]
+	seed int64
 
 	// replica marks a read-only replica (Config.Replica); replApplied
 	// tracks the last shipped sequence applied by an IN-MEMORY replica
@@ -150,10 +165,12 @@ type Store struct {
 	// persist is the durability subsystem (nil for in-memory stores).
 	persist *persister
 
-	appends atomic.Uint64
-	solves  atomic.Uint64
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	appends       atomic.Uint64
+	solves        atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	reannotations atomic.Uint64
+	activations   atomic.Uint64
 
 	// testSolveHook, when set, runs after a summary solve completes
 	// but before the result is cached. Tests use it to interleave a
@@ -171,18 +188,41 @@ type entry struct {
 	numPairs     int
 	createdAt    time.Time
 	updatedAt    time.Time
+
+	// raws retains the item's raw reviews so an ontology swap can
+	// re-annotate the corpus lazily. Appends publish a full-capacity
+	// copy (copy-on-write like item), so a reader's slice header stays
+	// valid across concurrent appends.
+	raws []extract.RawReview
+	// annVer is the runtime version item's annotations were produced
+	// under; when it differs from the active runtime's version the item
+	// is re-annotated (from raws) before the next solve. annVerMixed
+	// marks a corpus whose reviews span two pipeline versions.
+	annVer string
 }
+
+// annVerMixed marks an entry whose merged annotations span more than
+// one runtime version (an append landed after a swap but before the
+// lazy re-annotation). It never equals a real version, so the next
+// solve always re-annotates.
+const annVerMixed = "\x00mixed"
 
 // New validates the config and builds a Store. With Config.DataDir
 // set, it first recovers any previous state from disk (latest valid
 // snapshot, then WAL replay) and arms the durability subsystem; call
 // Close when done with a durable store.
 func New(cfg Config) (*Store, error) {
-	if cfg.Metric.Ont == nil {
-		return nil, errors.New("store: Config.Metric.Ont is required")
+	if cfg.Runtime == nil {
+		if cfg.Metric.Ont == nil {
+			return nil, errors.New("store: Config.Metric.Ont is required")
+		}
+		if cfg.Pipeline == nil {
+			return nil, errors.New("store: Config.Pipeline is required")
+		}
+		cfg.Runtime = ontoreg.ConfigRuntime(cfg.Metric, cfg.Pipeline)
 	}
-	if cfg.Pipeline == nil {
-		return nil, errors.New("store: Config.Pipeline is required")
+	if cfg.Runtime.Metric.Ont == nil || cfg.Runtime.Pipeline == nil {
+		return nil, errors.New("store: Config.Runtime needs a metric ontology and a pipeline")
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -194,14 +234,13 @@ func New(cfg Config) (*Store, error) {
 		cfg.MaxCacheBytes = DefaultMaxCacheBytes
 	}
 	s := &Store{
-		metric:   cfg.Metric,
-		pipeline: cfg.Pipeline,
-		seed:     cfg.Seed,
-		replica:  cfg.Replica,
-		items:    make(map[string]*entry),
-		cache:    newLRU(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
-		metrics:  newStoreMetrics(cfg.Obs, cfg.ObsShard),
+		seed:    cfg.Seed,
+		replica: cfg.Replica,
+		items:   make(map[string]*entry),
+		cache:   newLRU(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
+		metrics: newStoreMetrics(cfg.Obs, cfg.ObsShard),
 	}
+	s.rt.Store(cfg.Runtime)
 	s.cache.evicted = s.metrics.cacheEvictions
 	if cfg.DataDir != "" {
 		if err := openPersistence(s, cfg); err != nil {
@@ -267,11 +306,15 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 	// The expensive part — tokenization, concept matching, sentiment —
 	// runs outside any lock, touches only the new reviews, and fans out
 	// across GOMAXPROCS workers (order-preserving, so the stored corpus
-	// is byte-identical to sequential ingestion).
-	annotated := s.pipeline.AnnotateReviews(reviews, 0)
+	// is byte-identical to sequential ingestion). The runtime is pinned
+	// once: a concurrent ontology swap affects the NEXT append, and the
+	// version recorded alongside the annotations (annVer) is exactly the
+	// one that produced them.
+	rt := s.rt.Load()
+	annotated := rt.Pipeline.AnnotateReviews(reviews, 0)
 
 	if s.persist != nil {
-		stats, err := s.persist.commitAppend(id, name, now, reviews, annotated)
+		stats, err := s.persist.commitAppend(id, name, now, reviews, annotated, rt.Version)
 		if err != nil {
 			return ItemStats{}, fmt.Errorf("store: wal append: %w", err)
 		}
@@ -285,7 +328,7 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 	if e, ok := s.items[id]; ok && len(annotated) == 0 && (name == "" || name == e.item.Name) {
 		return e.stats(), nil
 	}
-	stats := s.applyAppendLocked(id, name, annotated, now)
+	stats := s.applyAppendLocked(id, name, reviews, annotated, rt.Version, now)
 	s.appends.Add(1)
 	s.metrics.appendSeconds.ObserveSince(now)
 	return stats, nil
@@ -294,8 +337,10 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 // applyAppendLocked merges annotated reviews into the item (creating
 // it if needed) under s.mu. It is shared by the live ingest path and
 // WAL replay; now is the logged wall-clock time so a recovered store
-// reproduces the original timestamps.
-func (s *Store) applyAppendLocked(id, name string, annotated []model.Review, now time.Time) ItemStats {
+// reproduces the original timestamps. raws are the un-annotated
+// originals (retained for lazy re-annotation after an ontology swap)
+// and annVer is the runtime version that produced the annotations.
+func (s *Store) applyAppendLocked(id, name string, raws []extract.RawReview, annotated []model.Review, annVer string, now time.Time) ItemStats {
 	newSentences, newPairs := 0, 0
 	for i := range annotated {
 		newSentences += len(annotated[i].Sentences)
@@ -309,6 +354,7 @@ func (s *Store) applyAppendLocked(id, name string, annotated []model.Review, now
 		e = &entry{
 			item:      &model.Item{ID: id, Name: name},
 			gen:       s.nextGen,
+			annVer:    annVer,
 			createdAt: now,
 			updatedAt: now,
 		}
@@ -335,7 +381,53 @@ func (s *Store) applyAppendLocked(id, name string, annotated []model.Review, now
 		e.numPairs += newPairs
 		e.updatedAt = now
 	}
+	if len(raws) > 0 {
+		if e.raws == nil && len(e.item.Reviews) > len(raws) {
+			// Legacy entry (recovered from a pre-lifecycle snapshot
+			// without raws): reconstruct the prefix from the annotated
+			// reviews so the retained raws cover the whole corpus.
+			e.raws = reconstructRaws(e.item.Reviews[:len(e.item.Reviews)-len(annotated)])
+		}
+		// Full-capacity copy-on-write: a reader holding the old slice
+		// header can never observe this append.
+		e.raws = append(e.raws[:len(e.raws):len(e.raws)], raws...)
+	}
+	if existed && e.annVer != annVer {
+		// The corpus now mixes annotations from two pipeline versions;
+		// the sentinel forces a re-annotation before the next solve.
+		e.annVer = annVerMixed
+	}
 	return e.stats()
+}
+
+// reconstructRaws rebuilds raw reviews from annotated ones by joining
+// sentence texts. Used for corpora recovered from snapshots that
+// predate raw-review retention; the reconstruction is faithful enough
+// to re-annotate (the pipeline re-splits on sentence boundaries).
+func reconstructRaws(annotated []model.Review) []extract.RawReview {
+	raws := make([]extract.RawReview, len(annotated))
+	for i := range annotated {
+		var text string
+		for si := range annotated[i].Sentences {
+			if si > 0 {
+				text += " "
+			}
+			text += annotated[i].Sentences[si].Text
+		}
+		raws[i] = extract.RawReview{ID: annotated[i].ID, Text: text, Rating: annotated[i].Rating}
+	}
+	return raws
+}
+
+// countAnnotations tallies sentences and pairs across reviews.
+func countAnnotations(reviews []model.Review) (sentences, pairs int) {
+	for i := range reviews {
+		sentences += len(reviews[i].Sentences)
+		for si := range reviews[i].Sentences {
+			pairs += len(reviews[i].Sentences[si].Pairs)
+		}
+	}
+	return sentences, pairs
 }
 
 // Item returns the current annotated snapshot and generation of an
@@ -411,10 +503,14 @@ func (s *Store) Delete(id string) (bool, error) {
 }
 
 // cacheKey identifies one solved summary: the item at an exact corpus
-// generation under exact solver parameters.
+// generation under exact solver parameters and an exact ontology
+// version. The version component is the swap-coherence invariant: a
+// summary solved under one ontology can never answer a request pinned
+// to another, because their keys differ.
 type cacheKey struct {
 	id  string
 	gen uint64
+	ver string
 	k   int
 	g   model.Granularity
 	m   Method
@@ -431,8 +527,16 @@ type Summary struct {
 	NumPairs    int               `json:"num_pairs"`
 	Indices     []int             `json:"indices,omitempty"`
 	Pairs       []model.Pair      `json:"pairs,omitempty"`
-	Sentences   []string          `json:"sentences,omitempty"`
-	ReviewIDs   []string          `json:"review_ids,omitempty"`
+	// Concepts are the human-readable concept names of Pairs, captured
+	// at solve time under the solving ontology — renderers never need to
+	// resolve ConceptIDs against a possibly different active ontology.
+	Concepts  []string `json:"concepts,omitempty"`
+	Sentences []string `json:"sentences,omitempty"`
+	ReviewIDs []string `json:"review_ids,omitempty"`
+	// Ontology and OntologyVersion identify the ontology runtime the
+	// summary was solved under ("config" for unversioned runtimes).
+	Ontology        string `json:"ontology,omitempty"`
+	OntologyVersion string `json:"ontology_version,omitempty"`
 }
 
 // Summary returns the k-unit summary of the item's current corpus.
@@ -455,19 +559,19 @@ func (s *Store) Summary(id string, k int, g model.Granularity, m Method) (sum *S
 		return nil, false, fmt.Errorf("store: unknown method %v", m)
 	}
 
-	s.mu.RLock()
-	e, ok := s.items[id]
-	var item *model.Item
-	var gen uint64
-	if ok {
-		item, gen = e.item, e.gen
+	// Pin the active runtime for the whole request: a concurrent swap
+	// redirects future requests, this one solves (and caches) under the
+	// version it loaded.
+	rt := s.rt.Load()
+	item, gen, ok, err := s.itemAt(rt, id)
+	if err != nil {
+		return nil, false, err
 	}
-	s.mu.RUnlock()
 	if !ok {
 		return nil, false, ErrNotFound
 	}
 
-	key := cacheKey{id: id, gen: gen, k: k, g: g, m: m}
+	key := cacheKey{id: id, gen: gen, ver: rt.Version, k: k, g: g, m: m}
 	if sum, ok := s.cache.Get(key); ok {
 		s.hits.Add(1)
 		s.metrics.cacheHits.Inc()
@@ -481,7 +585,7 @@ func (s *Store) Summary(id string, k int, g model.Granularity, m Method) (sum *S
 		if sum, ok := s.cache.Get(key); ok {
 			return sum, nil
 		}
-		sum, err := s.solve(item, gen, k, g, m)
+		sum, err := s.solve(rt, item, gen, k, g, m)
 		if err == nil {
 			if s.testSolveHook != nil {
 				s.testSolveHook(id)
@@ -503,11 +607,79 @@ func (s *Store) Summary(id string, k int, g model.Granularity, m Method) (sum *S
 	})
 }
 
-// solve runs the coverage solve on an immutable item snapshot.
-func (s *Store) solve(item *model.Item, gen uint64, k int, g model.Granularity, m Method) (*Summary, error) {
+// itemAt returns the item's annotated snapshot under the given
+// runtime, lazily re-annotating from the retained raw reviews when the
+// stored annotations were produced under a different ontology version.
+// Re-annotation runs outside the store lock on a consistent snapshot
+// and is published with an optimistic re-check: if the entry changed
+// underneath (append, delete, a concurrent re-annotation winning the
+// race), the loop retries. Publishing does NOT bump the generation —
+// the corpus content is unchanged, only its annotations — so summaries
+// cached under other runtime versions stay addressable.
+func (s *Store) itemAt(rt *ontoreg.Runtime, id string) (*model.Item, uint64, bool, error) {
+	for {
+		s.mu.RLock()
+		e, ok := s.items[id]
+		if !ok {
+			s.mu.RUnlock()
+			return nil, 0, false, nil
+		}
+		if e.annVer == rt.Version {
+			item, gen := e.item, e.gen
+			s.mu.RUnlock()
+			return item, gen, true, nil
+		}
+		snap, gen := e.item, e.gen
+		raws := e.raws
+		s.mu.RUnlock()
+
+		if raws == nil {
+			// Recovered from a pre-lifecycle snapshot: reconstruct raw
+			// text from the annotated reviews we have.
+			raws = reconstructRaws(snap.Reviews)
+		}
+		start := time.Now()
+		annotated := rt.Pipeline.AnnotateReviews(raws, 0)
+
+		s.mu.Lock()
+		e2, ok := s.items[id]
+		if !ok {
+			s.mu.Unlock()
+			return nil, 0, false, nil
+		}
+		if e2 != e || e2.gen != gen || e2.item != snap {
+			// The corpus moved while we were annotating; retry against
+			// the new snapshot.
+			s.mu.Unlock()
+			continue
+		}
+		if e2.annVer == rt.Version {
+			// A concurrent re-annotation for the same version won; use it.
+			item := e2.item
+			s.mu.Unlock()
+			return item, gen, true, nil
+		}
+		ni := &model.Item{ID: snap.ID, Name: snap.Name, Reviews: annotated}
+		e2.item = ni
+		e2.annVer = rt.Version
+		e2.numSentences, e2.numPairs = countAnnotations(annotated)
+		if e2.raws == nil {
+			e2.raws = raws
+		}
+		s.mu.Unlock()
+		s.reannotations.Add(1)
+		s.metrics.reannotations.Inc()
+		s.metrics.reannSeconds.ObserveSince(start)
+		return ni, gen, true, nil
+	}
+}
+
+// solve runs the coverage solve on an immutable item snapshot under
+// the pinned runtime.
+func (s *Store) solve(rt *ontoreg.Runtime, item *model.Item, gen uint64, k int, g model.Granularity, m Method) (*Summary, error) {
 	s.solves.Add(1)
 	solveStart := time.Now()
-	graph := coverage.Build(s.metric, item, g)
+	graph := coverage.Build(rt.Metric, item, g)
 	if k > graph.NumCandidates {
 		k = graph.NumCandidates
 	}
@@ -527,20 +699,23 @@ func (s *Store) solve(item *model.Item, gen uint64, k int, g model.Granularity, 
 		return nil, err
 	}
 	sum := &Summary{
-		ItemID:      item.ID,
-		Generation:  gen,
-		K:           k,
-		Granularity: g,
-		Method:      m,
-		Cost:        res.Cost,
-		NumPairs:    len(graph.Pairs),
-		Indices:     res.Selected,
+		ItemID:          item.ID,
+		Generation:      gen,
+		K:               k,
+		Granularity:     g,
+		Method:          m,
+		Cost:            res.Cost,
+		NumPairs:        len(graph.Pairs),
+		Indices:         res.Selected,
+		Ontology:        rt.Name,
+		OntologyVersion: rt.Version,
 	}
 	switch g {
 	case model.GranularityPairs:
 		all := item.Pairs()
 		for _, idx := range res.Selected {
 			sum.Pairs = append(sum.Pairs, all[idx])
+			sum.Concepts = append(sum.Concepts, rt.Metric.Ont.Name(all[idx].Concept))
 		}
 	case model.GranularitySentences:
 		texts := make([]string, 0, item.NumSentences())
@@ -572,6 +747,16 @@ type Stats struct {
 	CacheBytes     int64  `json:"cache_bytes"`
 	CacheEvictions uint64 `json:"cache_evictions"`
 
+	// Ontology lifecycle state: the active runtime's identity, how many
+	// items still carry annotations from a different runtime version
+	// (they re-annotate lazily on their next summarize), and the running
+	// re-annotation / activation counters.
+	ActiveOntology        string `json:"active_ontology,omitempty"`
+	ActiveOntologyVersion string `json:"active_ontology_version,omitempty"`
+	StaleItems            int    `json:"stale_items,omitempty"`
+	Reannotations         uint64 `json:"reannotations,omitempty"`
+	OntologyActivations   uint64 `json:"ontology_activations,omitempty"`
+
 	// Durability counters (zero for in-memory stores).
 	Durable          bool   `json:"durable,omitempty"`
 	WALLastSeq       uint64 `json:"wal_last_seq,omitempty"`
@@ -591,15 +776,30 @@ type Stats struct {
 // Stats returns the current counters. Because the counters are
 // independent atomics, the snapshot is approximate under concurrency.
 func (s *Store) Stats() Stats {
+	rt := s.rt.Load()
+	s.mu.RLock()
+	items := len(s.items)
+	stale := 0
+	for _, e := range s.items {
+		if e.annVer != rt.Version {
+			stale++
+		}
+	}
+	s.mu.RUnlock()
 	st := Stats{
-		Items:          s.Len(),
-		Appends:        s.appends.Load(),
-		Solves:         s.solves.Load(),
-		CacheHits:      s.hits.Load(),
-		CacheMisses:    s.misses.Load(),
-		CacheEntries:   s.cache.Len(),
-		CacheBytes:     s.cache.Bytes(),
-		CacheEvictions: s.cache.Evictions(),
+		Items:                 items,
+		Appends:               s.appends.Load(),
+		Solves:                s.solves.Load(),
+		CacheHits:             s.hits.Load(),
+		CacheMisses:           s.misses.Load(),
+		CacheEntries:          s.cache.Len(),
+		CacheBytes:            s.cache.Bytes(),
+		CacheEvictions:        s.cache.Evictions(),
+		ActiveOntology:        rt.Name,
+		ActiveOntologyVersion: rt.Version,
+		StaleItems:            stale,
+		Reannotations:         s.reannotations.Load(),
+		OntologyActivations:   s.activations.Load(),
 	}
 	if p := s.persist; p != nil {
 		st.Durable = true
@@ -608,4 +808,55 @@ func (s *Store) Stats() Stats {
 		st.SnapshotsWritten = p.snapshotsWritten.Load()
 	}
 	return st
+}
+
+// ActiveRuntime returns the store's active ontology runtime — the one
+// recovered from the WAL on a durable store and advanced by
+// replication on a replica. Never nil.
+func (s *Store) ActiveRuntime() *ontoreg.Runtime {
+	return s.rt.Load()
+}
+
+// ActivateOntology hot-swaps the active ontology runtime. Requests
+// in flight finish on the runtime they pinned; new requests see rt.
+// Items annotated under the previous version re-annotate lazily on
+// their next summarize (the cache key's version component already
+// isolates their old summaries). Activating the already-active version
+// is an idempotent no-op. On a durable store the activation is logged
+// to the WAL through the group-commit path before it applies, so it
+// survives restart and ships to replicas; that requires a runtime with
+// a serializable entry payload (registry-born, not ConfigRuntime).
+// Replicas reject local activation with ErrReadOnly — the active
+// version reaches them through the replicated WAL stream.
+func (s *Store) ActivateOntology(rt *ontoreg.Runtime) error {
+	if rt == nil || rt.Metric.Ont == nil || rt.Pipeline == nil {
+		return errors.New("store: ActivateOntology needs a runtime with a metric ontology and a pipeline")
+	}
+	if s.replica {
+		return ErrReadOnly
+	}
+	if cur := s.rt.Load(); cur.Version == rt.Version && cur.Name == rt.Name {
+		return nil
+	}
+	if s.persist != nil {
+		if len(rt.Payload) == 0 {
+			return errors.New("store: durable activation requires a registry entry (runtime has no payload)")
+		}
+		if err := s.persist.commitActivate(rt); err != nil {
+			return fmt.Errorf("store: wal activate: %w", err)
+		}
+		return nil
+	}
+	s.mu.Lock()
+	s.setRuntimeLocked(rt)
+	s.mu.Unlock()
+	return nil
+}
+
+// setRuntimeLocked publishes rt as the active runtime. Callers hold
+// s.mu so swaps are ordered with WAL apply / replica bookkeeping.
+func (s *Store) setRuntimeLocked(rt *ontoreg.Runtime) {
+	s.rt.Store(rt)
+	s.activations.Add(1)
+	s.metrics.activations.Inc()
 }

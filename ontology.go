@@ -1,0 +1,55 @@
+package osars
+
+import (
+	"osars/internal/ontoreg"
+)
+
+// Ontology lifecycle API: named, content-hash-versioned bundles of
+// (ontology, opinion lexicon, ε) that can be registered, persisted,
+// hot-activated on a running Store and replicated to followers. See
+// internal/ontoreg for the format and swap semantics.
+type (
+	// OntologyEntry is one validated ontology bundle: name + ε +
+	// concept DAG + graded opinion lexicon, versioned by a content hash
+	// over its canonical JSON encoding.
+	OntologyEntry = ontoreg.Entry
+	// OntologyRuntime is an entry compiled for serving (metric +
+	// extraction pipeline + version identity). Stores swap the active
+	// one atomically; in-flight requests finish on the runtime they
+	// started with.
+	OntologyRuntime = ontoreg.Runtime
+	// OntologyRegistry holds named entries, addressable as "name"
+	// (latest) or "name@version", with optional directory persistence.
+	OntologyRegistry = ontoreg.Registry
+	// OntologyRegistryOptions configures an OntologyRegistry
+	// (persistence directory, metrics registry).
+	OntologyRegistryOptions = ontoreg.RegistryOptions
+	// OntologyEntryInfo is one registry listing row.
+	OntologyEntryInfo = ontoreg.EntryInfo
+)
+
+// OntologyEntrySchema identifies the entry file format
+// ("osars-ontology/v1").
+const OntologyEntrySchema = ontoreg.Schema
+
+// NewOntologyRegistry builds an ontology registry. With a persistence
+// directory set, call LoadDir afterwards to restore previously
+// registered entries.
+func NewOntologyRegistry(opts OntologyRegistryOptions) *OntologyRegistry {
+	return ontoreg.NewRegistry(opts)
+}
+
+// NewOntologyEntry validates and canonicalizes an in-process ontology
+// bundle: epsilon 0 means the default (0.5), a nil lexicon means the
+// built-in opinion-word table.
+func NewOntologyEntry(name string, ont *Ontology, lexicon map[string]float64, epsilon float64) (*OntologyEntry, error) {
+	return ontoreg.NewEntry(name, ont, lexicon, epsilon)
+}
+
+// DecodeOntologyEntry parses and validates an entry file (the
+// osars-ontology/v1 JSON format). Cyclic, multi-root or otherwise
+// invalid ontologies and out-of-range lexicon polarities are rejected
+// here, before anything can be registered or activated.
+func DecodeOntologyEntry(data []byte) (*OntologyEntry, error) {
+	return ontoreg.Decode(data)
+}

@@ -28,6 +28,7 @@ import (
 	"osars/internal/extract"
 	"osars/internal/model"
 	"osars/internal/ontology"
+	"osars/internal/ontoreg"
 	"osars/internal/sentiment"
 	"osars/internal/summarize"
 )
@@ -103,8 +104,12 @@ type Config struct {
 	// Epsilon is the sentiment threshold ε of Definition 1
 	// (default 0.5, the elbow the paper selects in §5.3).
 	Epsilon float64
+	// Lexicon optionally replaces the built-in opinion-word table with
+	// a custom word → prior-polarity map (values in [-1, +1]). Mutually
+	// exclusive with Estimator.
+	Lexicon map[string]float64
 	// Estimator scores sentence sentiment (default: the unsupervised
-	// lexicon scorer).
+	// lexicon scorer over Lexicon, or the built-in table).
 	Estimator Estimator
 	// Seed drives randomized rounding (default 1).
 	Seed int64
@@ -112,6 +117,7 @@ type Config struct {
 
 // Summarizer is the top-level entry point. Safe for concurrent use.
 type Summarizer struct {
+	rt       *ontoreg.Runtime
 	metric   model.Metric
 	pipeline *extract.Pipeline
 	seed     int64
@@ -131,9 +137,32 @@ func New(cfg Config) (*Summarizer, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	var rt *ontoreg.Runtime
+	if cfg.Estimator == nil {
+		// The default (lexicon-scored) configuration is expressible as a
+		// registry entry, so the summarizer's runtime gets a real content
+		// version: a store opened from it keys its summary cache by that
+		// version and can durably re-activate the same entry later.
+		ent, err := ontoreg.NewEntry(ontoreg.ConfigVersion, cfg.Ontology, cfg.Lexicon, cfg.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		rt = ent.Runtime()
+	} else {
+		if len(cfg.Lexicon) > 0 {
+			return nil, fmt.Errorf("osars: Config.Lexicon and Config.Estimator are mutually exclusive")
+		}
+		// A custom estimator cannot be serialized into an entry; the
+		// runtime serves fine but cannot be durably activated.
+		rt = ontoreg.ConfigRuntime(
+			model.Metric{Ont: cfg.Ontology, Epsilon: cfg.Epsilon},
+			extract.NewPipeline(extract.NewMatcher(cfg.Ontology), cfg.Estimator),
+		)
+	}
 	return &Summarizer{
-		metric:   model.Metric{Ont: cfg.Ontology, Epsilon: cfg.Epsilon},
-		pipeline: extract.NewPipeline(extract.NewMatcher(cfg.Ontology), cfg.Estimator),
+		rt:       rt,
+		metric:   rt.Metric,
+		pipeline: rt.Pipeline,
 		seed:     cfg.Seed,
 	}, nil
 }
@@ -141,6 +170,13 @@ func New(cfg Config) (*Summarizer, error) {
 // Metric exposes the configured Definition-1/2 metric (for custom
 // evaluation).
 func (s *Summarizer) Metric() model.Metric { return s.metric }
+
+// Runtime returns the summarizer's compiled ontology runtime: the
+// (ontology, lexicon, ε) triple plus its content version. Stores
+// opened from this summarizer start on it; pass other runtimes
+// (resolved from an OntologyRegistry) to AnnotateItemWith /
+// SummarizeWith for per-request multi-domain serving.
+func (s *Summarizer) Runtime() *OntologyRuntime { return s.rt }
 
 // AnnotateItem runs the extraction pipeline (§5.1): sentence
 // splitting, ontology concept matching and sentence-level sentiment.
@@ -182,10 +218,31 @@ type Summary struct {
 // the given granularity. k is clamped to the number of available
 // candidates.
 func (s *Summarizer) Summarize(item *Item, k int, g Granularity, m Method) (*Summary, error) {
+	return summarizeWithMetric(s.metric, s.seed, item, k, g, m)
+}
+
+// AnnotateItemWith is AnnotateItem under an explicit ontology runtime
+// (per-request domain selection): the item is annotated by rt's
+// pipeline instead of the summarizer's own.
+func (s *Summarizer) AnnotateItemWith(rt *OntologyRuntime, id, name string, reviews []Review) *Item {
+	return rt.Pipeline.AnnotateItemParallel(id, name, reviews, 0)
+}
+
+// SummarizeWith is Summarize under an explicit ontology runtime: the
+// coverage graph is built with rt's metric. The item must have been
+// annotated under the SAME runtime (its pair ConceptIDs index rt's
+// ontology).
+func (s *Summarizer) SummarizeWith(rt *OntologyRuntime, item *Item, k int, g Granularity, m Method) (*Summary, error) {
+	return summarizeWithMetric(rt.Metric, s.seed, item, k, g, m)
+}
+
+// summarizeWithMetric is the metric-parameterized solve shared by
+// Summarize and SummarizeWith.
+func summarizeWithMetric(metric model.Metric, seed int64, item *Item, k int, g Granularity, m Method) (*Summary, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("osars: k must be nonnegative, got %d", k)
 	}
-	graph := coverage.Build(s.metric, item, g)
+	graph := coverage.Build(metric, item, g)
 	if k > graph.NumCandidates {
 		k = graph.NumCandidates
 	}
@@ -195,7 +252,7 @@ func (s *Summarizer) Summarize(item *Item, k int, g Granularity, m Method) (*Sum
 	case MethodGreedy:
 		res = summarize.Greedy(graph, k)
 	case MethodRR:
-		res, err = summarize.RandomizedRounding(graph, k, rand.New(rand.NewSource(s.seed)), nil)
+		res, err = summarize.RandomizedRounding(graph, k, rand.New(rand.NewSource(seed)), nil)
 	case MethodILP:
 		res, err = summarize.ILP(graph, k, nil)
 	case MethodLocalSearch:

@@ -74,6 +74,16 @@ type Store interface {
 	Delete(id string) (bool, error)
 	// Stats returns the store-level counters.
 	Stats() StoreStats
+	// ActivateOntology hot-swaps the active ontology runtime: new
+	// requests annotate and solve under rt, in-flight requests finish
+	// on the runtime they pinned, and items annotated under the old
+	// version re-annotate lazily on their next summarize. On a durable
+	// store the activation is logged to the WAL (so it survives restart
+	// and ships to replicas), which requires a registry-born runtime;
+	// replicas reject local activation with store.ErrReadOnly.
+	ActivateOntology(rt *OntologyRuntime) error
+	// ActiveRuntime returns the active ontology runtime (never nil).
+	ActiveRuntime() *OntologyRuntime
 	// Snapshot forces a snapshot + WAL compaction now (no-op for
 	// in-memory stores).
 	Snapshot() error
@@ -209,6 +219,7 @@ func (s *Summarizer) OpenStore(opts StoreOptions) (Store, error) {
 	cfg := store.Config{
 		Metric:          s.metric,
 		Pipeline:        s.pipeline,
+		Runtime:         s.rt,
 		Seed:            s.seed,
 		MaxCacheEntries: opts.MaxCacheEntries,
 		MaxCacheBytes:   opts.MaxCacheBytes,

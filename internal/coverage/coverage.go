@@ -68,7 +68,35 @@ type Graph struct {
 	bwdIdx  []int32 // len len(Pairs)+1
 	bwdCand []int32
 	bwdDist []int32
+
+	// Row-backed adjacency, the alternative representation set by the
+	// incremental Index's Freeze (index.go): one slice per candidate /
+	// per pair instead of the flat CSR block. Freezing then costs O(|U| +
+	// |W|) slice-header copies instead of an O(|E|) array rebuild — the
+	// rows alias the index's append-only storage (capacity-capped, so
+	// later merges reallocate rather than write through). Row contents
+	// and order are identical to the CSR rows Build produces; every
+	// accessor branches on rowBacked, so the two representations are
+	// indistinguishable through the API.
+	rowBacked  bool
+	rowEdges   int
+	rowFwdPair [][]int32 // per candidate: covered pair indices, ascending
+	rowFwdDist [][]int32
+	rowBwdCand [][]int32 // per pair: covering candidates, closure order
+	rowBwdDist [][]int32
+
+	// initGains, when non-nil, is the warm-start seed maintained by the
+	// incremental Index (index.go): initGains[u] = Σ_w max(0,
+	// RootDist[w]−d(u,w)), each candidate's initial greedy key. Batch
+	// builders leave it nil.
+	initGains []int64
 }
+
+// InitGains returns the per-candidate initial greedy gains maintained
+// by the incremental index that froze this graph, or nil for graphs
+// from the batch builders. The slice is shared and must be treated as
+// read-only.
+func (g *Graph) InitGains() []int64 { return g.initGains }
 
 // Edge is one coverage relation reported by the iteration methods.
 type Edge struct {
@@ -78,13 +106,19 @@ type Edge struct {
 }
 
 // NumEdges reports |E|.
-func (g *Graph) NumEdges() int { return len(g.fwdPair) }
+func (g *Graph) NumEdges() int {
+	if g.rowBacked {
+		return g.rowEdges
+	}
+	return len(g.fwdPair)
+}
 
 // Covered calls fn for every pair covered by candidate u, with the
 // Definition-1 distance. Iteration stops early if fn returns false.
 func (g *Graph) Covered(u int, fn func(w int, dist int) bool) {
-	for i := g.fwdIdx[u]; i < g.fwdIdx[u+1]; i++ {
-		if !fn(int(g.fwdPair[i]), int(g.fwdDist[i])) {
+	pairs, dists := g.CoveredRow(u)
+	for i := range pairs {
+		if !fn(int(pairs[i]), int(dists[i])) {
 			return
 		}
 	}
@@ -93,30 +127,42 @@ func (g *Graph) Covered(u int, fn func(w int, dist int) bool) {
 // Coverers calls fn for every candidate covering pair w, with the
 // Definition-1 distance. Iteration stops early if fn returns false.
 func (g *Graph) Coverers(w int, fn func(u int, dist int) bool) {
-	for i := g.bwdIdx[w]; i < g.bwdIdx[w+1]; i++ {
-		if !fn(int(g.bwdCand[i]), int(g.bwdDist[i])) {
+	cands, dists := g.CoverersRow(w)
+	for i := range cands {
+		if !fn(int(cands[i]), int(dists[i])) {
 			return
 		}
 	}
 }
 
 // Degree returns the number of pairs candidate u covers.
-func (g *Graph) Degree(u int) int { return int(g.fwdIdx[u+1] - g.fwdIdx[u]) }
+func (g *Graph) Degree(u int) int {
+	if g.rowBacked {
+		return len(g.rowFwdPair[u])
+	}
+	return int(g.fwdIdx[u+1] - g.fwdIdx[u])
+}
 
-// CoveredRow returns the forward CSR row of candidate u: the pair
-// indices it covers and the matching Definition-1 distances. The
-// slices alias the graph's storage and must not be modified. This is
-// the allocation- and closure-free counterpart of Covered for hot
-// loops (the greedy key updates walk these rows directly).
+// CoveredRow returns the forward row of candidate u: the pair indices
+// it covers and the matching Definition-1 distances. The slices alias
+// the graph's storage and must not be modified. This is the
+// allocation- and closure-free counterpart of Covered for hot loops
+// (the greedy key updates walk these rows directly).
 func (g *Graph) CoveredRow(u int) (pairs, dists []int32) {
+	if g.rowBacked {
+		return g.rowFwdPair[u], g.rowFwdDist[u]
+	}
 	lo, hi := g.fwdIdx[u], g.fwdIdx[u+1]
 	return g.fwdPair[lo:hi], g.fwdDist[lo:hi]
 }
 
-// CoverersRow returns the backward CSR row of pair w: the candidate
+// CoverersRow returns the backward row of pair w: the candidate
 // indices covering it and the matching distances. The slices alias the
 // graph's storage and must not be modified.
 func (g *Graph) CoverersRow(w int) (cands, dists []int32) {
+	if g.rowBacked {
+		return g.rowBwdCand[w], g.rowBwdDist[w]
+	}
 	lo, hi := g.bwdIdx[w], g.bwdIdx[w+1]
 	return g.bwdCand[lo:hi], g.bwdDist[lo:hi]
 }
@@ -167,9 +213,9 @@ func (g *Graph) CostOfWith(s *CostScratch, selected []int) float64 {
 	total := 0
 	for w := range g.Pairs {
 		best := g.RootDist[w]
-		lo, hi := g.bwdIdx[w], g.bwdIdx[w+1]
-		for i := lo; i < hi; i++ {
-			if d := g.bwdDist[i]; d < best && stamp[g.bwdCand[i]] == gen {
+		cands, dists := g.CoverersRow(w)
+		for i := range cands {
+			if d := dists[i]; d < best && stamp[cands[i]] == gen {
 				best = d
 			}
 		}

@@ -54,13 +54,17 @@ func requireGraphsEqual(t *testing.T, got, want *Graph, label string) {
 			t.Fatalf("%s: coverers of pair %d differ", label, w)
 		}
 	}
-	// And both must price an identical selection identically.
-	sel := []int{0}
-	if got.NumCandidates > 2 {
-		sel = append(sel, got.NumCandidates-1)
-	}
-	if g, w := got.CostOf(sel), want.CostOf(sel); g != w {
-		t.Fatalf("%s: CostOf(%v) = %v, want %v", label, sel, g, w)
+	// And both must price an identical selection identically. (An empty
+	// candidate set — e.g. a zero-review prefix in the incremental-index
+	// fuzz — has no selection to price.)
+	if got.NumCandidates > 0 {
+		sel := []int{0}
+		if got.NumCandidates > 2 {
+			sel = append(sel, got.NumCandidates-1)
+		}
+		if g, w := got.CostOf(sel), want.CostOf(sel); g != w {
+			t.Fatalf("%s: CostOf(%v) = %v, want %v", label, sel, g, w)
+		}
 	}
 }
 

@@ -1,0 +1,544 @@
+// Incremental coverage index: the §4.1 initialization kept in
+// appendable form so an append-heavy corpus pays O(delta) per new
+// review instead of a full rebuild per summary.
+//
+// Build (coverage.go) is a batch algorithm: pass 1 counting-sorts every
+// candidate-pair occurrence into per-concept buckets, pass 2 scans each
+// target pair's ancestor closure over those buckets. Both passes have a
+// property the Index exploits: appending reviews only ever EXTENDS the
+// state the passes derive —
+//
+//   - occurrences of new candidates land at the TAIL of their concept
+//     buckets (bucket order is the global candidate scan order, and new
+//     candidates scan after all old ones);
+//   - existing candidates never gain occurrences (a review's pair set
+//     is immutable), so the dedup/emission decisions of every old edge
+//     are unchanged;
+//   - the rebuilt edge row of an old target is therefore the old row
+//     with the new-tail edges spliced in, ordered by the ancestor's
+//     position in the target's closure row (old entries sort before new
+//     ones at equal positions, because within one bucket the old
+//     occurrences precede the tail).
+//
+// Merge applies exactly that: it appends the delta's occurrences,
+// re-probes ONLY the dirty bucket tails for the affected old targets
+// (found through the ontology's descendant sets, not a corpus scan),
+// and runs the normal closure scan for the delta's own targets. Freeze
+// hands out a row-backed Graph whose adjacency aliases the index's own
+// per-row storage — O(|U| + |W|) slice-header copies, not an O(|E|)
+// CSR rebuild — with the same per-row edge order as buildClosure; the
+// equivalence tests fuzz row-identity against Build from scratch.
+//
+// The index also maintains each candidate's initial greedy gain
+// Σ_w max(0, RootDist[w] − d(u,w)) as it merges, so a frozen graph
+// carries the warm-start seed (Graph.InitGains) and GreedyWarm can
+// skip the O(|E|) key-initialization scan.
+package coverage
+
+import (
+	"sort"
+	"sync"
+
+	"osars/internal/model"
+	"osars/internal/ontology"
+)
+
+// Index is the appendable form of the coverage graph for one item at
+// one granularity under one metric (ontology + ε). All methods are
+// safe for concurrent use; Merge serializes against Freeze, and a
+// frozen Graph only aliases append-only arrays, so graphs handed out
+// earlier never observe later merges.
+type Index struct {
+	mu     sync.Mutex
+	metric model.Metric
+	gran   model.Granularity
+
+	numReviews int // reviews merged so far
+	numCand    int // |U|
+
+	// Append-only parallels of the Graph's W arrays. Frozen graphs
+	// alias prefixes of these; merges only ever append past them.
+	pairs    []model.Pair
+	rootDist []int32
+	ones     []int32 // all-ones Weight backing
+
+	// Per-concept occurrence buckets, in global candidate scan order
+	// (pass 1 of §4.1, kept live instead of rebuilt per solve).
+	bucketCand [][]int32
+	bucketSent [][]float64
+
+	// targetsByConcept[c] lists the pair indices whose concept is c, so
+	// a merge finds the old targets affected by a dirty concept through
+	// Descendants(c) instead of scanning the whole multiset.
+	targetsByConcept [][]int32
+
+	// Per-target edge rows in buildClosure emission order
+	// (ancestor-major, bucket-position-minor). edgeAnc records each
+	// edge's position in the target's ancestor closure row — the sort
+	// key that lets a merge splice new tail edges into an old row.
+	edgeCand [][]int32
+	edgeDist [][]int32
+	edgeAnc  [][]int32
+	numEdges int
+
+	// Per-candidate forward rows (candidate → covered targets,
+	// ascending target order — the same order as buildClosure's forward
+	// CSR). Old candidates only ever gain edges to NEW targets (their
+	// occurrences are immutable, so no new edge to an old target can
+	// involve them), and new targets are scanned in ascending order, so
+	// in-place tail appends preserve the sort. New candidates
+	// additionally receive old targets out of order during the patch
+	// phase; mergeLocked sorts that prefix once at the end.
+	fwdPair [][]int32
+	fwdDist [][]int32
+
+	// gain[u] = Σ_w max(0, rootDist[w] − d(u,w)): the candidate's
+	// initial greedy key, maintained edge by edge.
+	gain []int64
+
+	// Dedup scratch (candidate stamps per target scan, target stamps
+	// per merge) and the per-merge dirty-bucket bookkeeping.
+	stamp     []uint32
+	gen       uint32
+	tStamp    []uint32
+	tGen      uint32
+	dirtyFrom []int32 // pre-merge bucket length, valid while dirtyMark
+	dirtyMark []bool
+	dirty     []ontology.ConceptID
+	pendCand  []int32 // patch scratch: pending new edges of one target
+	pendDist  []int32
+	pendAnc   []int32
+
+	// Memoized Freeze: valid while no merge has run since.
+	frozen        *Graph
+	frozenReviews int
+}
+
+// NewIndex returns an empty index for the metric and granularity. The
+// ontology is pinned: after a hot-swap the store discards the index
+// (annotations change too) rather than migrating it.
+func NewIndex(m model.Metric, g model.Granularity) *Index {
+	n := m.Ont.Len()
+	return &Index{
+		metric:           m,
+		gran:             g,
+		bucketCand:       make([][]int32, n),
+		bucketSent:       make([][]float64, n),
+		targetsByConcept: make([][]int32, n),
+		dirtyFrom:        make([]int32, n),
+		dirtyMark:        make([]bool, n),
+	}
+}
+
+// NumReviews reports how many reviews have been merged.
+func (x *Index) NumReviews() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.numReviews
+}
+
+// Merge appends new reviews to the index in O(delta +
+// affected-old-targets) time. Reviews must be the continuation of the
+// sequence merged so far (the store's copy-on-write items guarantee
+// appends preserve the prefix).
+func (x *Index) Merge(reviews []model.Review) {
+	if len(reviews) == 0 {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.mergeLocked(reviews)
+}
+
+// Advance merges the suffix of item's reviews the index has not seen
+// yet. A stale snapshot (item shorter than the index) is a no-op, so
+// concurrent advancers against different snapshots are safe.
+func (x *Index) Advance(item *model.Item) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.numReviews >= len(item.Reviews) {
+		return
+	}
+	x.mergeLocked(item.Reviews[x.numReviews:])
+}
+
+// Freeze converts the index into an immutable Graph whose rows are
+// identical to Build from scratch over the merged corpus. The copy is
+// O(|U| + |W|) slice headers (the rows themselves are aliased, see
+// freezeLocked) and the result is memoized until the next merge.
+func (x *Index) Freeze() *Graph {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.freezeLocked()
+}
+
+// Graph returns the frozen graph for the given item snapshot, catching
+// the index up first if the snapshot has reviews the index has not
+// merged (recovered entries, replicas applying streamed ops). It
+// returns nil when the index has already merged PAST the snapshot —
+// the caller's view is older than the index and only a from-scratch
+// build can serve it.
+func (x *Index) Graph(item *model.Item) *Graph {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	n := len(item.Reviews)
+	if x.numReviews > n {
+		return nil
+	}
+	if x.numReviews < n {
+		x.mergeLocked(item.Reviews[x.numReviews:])
+	}
+	return x.freezeLocked()
+}
+
+// nextGenLocked advances the candidate-stamp generation (wrap-safe).
+func (x *Index) nextGenLocked() uint32 {
+	x.gen++
+	if x.gen == 0 {
+		for i := range x.stamp {
+			x.stamp[i] = 0
+		}
+		x.gen = 1
+	}
+	return x.gen
+}
+
+// nextTargetGenLocked advances the target-stamp generation.
+func (x *Index) nextTargetGenLocked() uint32 {
+	x.tGen++
+	if x.tGen == 0 {
+		for i := range x.tStamp {
+			x.tStamp[i] = 0
+		}
+		x.tGen = 1
+	}
+	return x.tGen
+}
+
+// addOccurrenceLocked files one candidate-pair occurrence: the W-side
+// append-only arrays, the target row placeholder, the concept bucket
+// tail and the dirty bookkeeping.
+func (x *Index) addOccurrenceLocked(u int, p model.Pair) {
+	ont := x.metric.Ont
+	w := len(x.pairs)
+	x.pairs = append(x.pairs, p)
+	x.rootDist = append(x.rootDist, int32(ont.Depth(p.Concept)))
+	x.ones = append(x.ones, 1)
+	x.targetsByConcept[p.Concept] = append(x.targetsByConcept[p.Concept], int32(w))
+	x.edgeCand = append(x.edgeCand, nil)
+	x.edgeDist = append(x.edgeDist, nil)
+	x.edgeAnc = append(x.edgeAnc, nil)
+	if !x.dirtyMark[p.Concept] {
+		x.dirtyMark[p.Concept] = true
+		x.dirtyFrom[p.Concept] = int32(len(x.bucketCand[p.Concept]))
+		x.dirty = append(x.dirty, p.Concept)
+	}
+	x.bucketCand[p.Concept] = append(x.bucketCand[p.Concept], int32(u))
+	x.bucketSent[p.Concept] = append(x.bucketSent[p.Concept], p.Sentiment)
+}
+
+// mergeLocked is the three-phase merge: (A) append the delta's
+// candidates and occurrences, (B) splice the dirty bucket tails into
+// the affected OLD targets' rows, (C) run the full closure scan for
+// the delta's NEW targets. Phase order mirrors the batch builder's two
+// passes: all occurrences land before any target scans.
+func (x *Index) mergeLocked(reviews []model.Review) {
+	ont := x.metric.Ont
+	oldPairs := len(x.pairs)
+	oldCand := x.numCand
+
+	// Phase A: extend U and the buckets in the same scan order the
+	// batch builder's counting sort produces (candidates ascending,
+	// pairs within a group in order).
+	switch x.gran {
+	case model.GranularityPairs:
+		for ri := range reviews {
+			for si := range reviews[ri].Sentences {
+				for _, p := range reviews[ri].Sentences[si].Pairs {
+					u := x.numCand
+					x.numCand++
+					x.addOccurrenceLocked(u, p)
+				}
+			}
+		}
+	case model.GranularitySentences:
+		for ri := range reviews {
+			for si := range reviews[ri].Sentences {
+				u := x.numCand
+				x.numCand++
+				for _, p := range reviews[ri].Sentences[si].Pairs {
+					x.addOccurrenceLocked(u, p)
+				}
+			}
+		}
+	case model.GranularityReviews:
+		for ri := range reviews {
+			u := x.numCand
+			x.numCand++
+			for si := range reviews[ri].Sentences {
+				for _, p := range reviews[ri].Sentences[si].Pairs {
+					x.addOccurrenceLocked(u, p)
+				}
+			}
+		}
+	}
+	for len(x.gain) < x.numCand {
+		x.gain = append(x.gain, 0)
+	}
+	for len(x.fwdPair) < x.numCand {
+		x.fwdPair = append(x.fwdPair, nil)
+		x.fwdDist = append(x.fwdDist, nil)
+	}
+	if cap(x.stamp) < x.numCand {
+		grown := make([]uint32, x.numCand)
+		copy(grown, x.stamp)
+		x.stamp = grown
+	}
+	x.stamp = x.stamp[:x.numCand]
+	if cap(x.tStamp) < len(x.pairs) {
+		grown := make([]uint32, len(x.pairs))
+		copy(grown, x.tStamp)
+		x.tStamp = grown
+	}
+	x.tStamp = x.tStamp[:len(x.pairs)]
+
+	// Phase B: every old target whose concept descends from a dirty
+	// concept may gain edges from that bucket's tail. Descendant sets
+	// bound the work by the delta's concepts, not the corpus size.
+	tgen := x.nextTargetGenLocked()
+	for _, c := range x.dirty {
+		for _, dc := range ont.Descendants(c) {
+			for _, t := range x.targetsByConcept[dc] {
+				if int(t) >= oldPairs || x.tStamp[t] == tgen {
+					continue
+				}
+				x.tStamp[t] = tgen
+				x.patchTargetLocked(int(t))
+			}
+		}
+	}
+
+	// Phase C: the delta's own targets scan the now-complete buckets
+	// exactly like the batch builder's second pass.
+	for w := oldPairs; w < len(x.pairs); w++ {
+		x.scanNewTargetLocked(w)
+	}
+
+	// New candidates received their OLD-target edges during phase B in
+	// dirty-concept order, not target order; restore the ascending-target
+	// invariant by sorting that prefix (everything < oldPairs — phase C's
+	// new targets arrived after it, already ascending). Old candidates
+	// only gained ascending new targets and need nothing.
+	for u := oldCand; u < x.numCand; u++ {
+		row := x.fwdPair[u]
+		split := 0
+		for split < len(row) && row[split] < int32(oldPairs) {
+			split++
+		}
+		if split > 1 {
+			sort.Sort(fwdRowSorter{p: row[:split], d: x.fwdDist[u][:split]})
+		}
+	}
+
+	for _, c := range x.dirty {
+		x.dirtyMark[c] = false
+	}
+	x.dirty = x.dirty[:0]
+	x.numReviews += len(reviews)
+	x.frozen = nil
+}
+
+// fwdRowSorter co-sorts one forward row prefix by target index.
+type fwdRowSorter struct {
+	p, d []int32
+}
+
+func (s fwdRowSorter) Len() int           { return len(s.p) }
+func (s fwdRowSorter) Less(i, j int) bool { return s.p[i] < s.p[j] }
+func (s fwdRowSorter) Swap(i, j int) {
+	s.p[i], s.p[j] = s.p[j], s.p[i]
+	s.d[i], s.d[j] = s.d[j], s.d[i]
+}
+
+// patchTargetLocked re-probes only the dirty bucket TAILS for one old
+// target and splices any new edges into its row by ancestor position.
+// Old candidates never appear in a tail, so the old row's dedup
+// decisions stand; new candidates dedup among themselves in the same
+// ancestor-major order the batch scan uses.
+func (x *Index) patchTargetLocked(w int) {
+	ont := x.metric.Ont
+	root := ont.Root()
+	eps := x.metric.Epsilon
+	target := &x.pairs[w]
+	gen := x.nextGenLocked()
+	ids, dists := ont.Ancestors(target.Concept)
+	pc, pd, pa := x.pendCand[:0], x.pendDist[:0], x.pendAnc[:0]
+	for ai, anc := range ids {
+		if !x.dirtyMark[anc] {
+			continue
+		}
+		isRoot := anc == root
+		d := dists[ai]
+		bc := x.bucketCand[anc]
+		bs := x.bucketSent[anc]
+		for bi := int(x.dirtyFrom[anc]); bi < len(bc); bi++ {
+			cand := bc[bi]
+			if x.stamp[cand] == gen {
+				continue
+			}
+			if !isRoot {
+				diff := bs[bi] - target.Sentiment
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > eps {
+					continue
+				}
+			}
+			x.stamp[cand] = gen
+			pc = append(pc, cand)
+			pd = append(pd, d)
+			pa = append(pa, int32(ai))
+		}
+	}
+	x.pendCand, x.pendDist, x.pendAnc = pc, pd, pa
+	if len(pc) == 0 {
+		return
+	}
+
+	// Stable splice by ancestor position, old edges first at equal
+	// positions (their bucket occurrences precede the tail). Fresh row
+	// allocation keeps previously frozen graphs' rows untouched.
+	oc, od, oa := x.edgeCand[w], x.edgeDist[w], x.edgeAnc[w]
+	nc := make([]int32, 0, len(oc)+len(pc))
+	nd := make([]int32, 0, len(oc)+len(pc))
+	na := make([]int32, 0, len(oc)+len(pc))
+	i, j := 0, 0
+	for i < len(oc) && j < len(pc) {
+		if oa[i] <= pa[j] {
+			nc, nd, na = append(nc, oc[i]), append(nd, od[i]), append(na, oa[i])
+			i++
+		} else {
+			nc, nd, na = append(nc, pc[j]), append(nd, pd[j]), append(na, pa[j])
+			j++
+		}
+	}
+	nc = append(append(nc, oc[i:]...), pc[j:]...)
+	nd = append(append(nd, od[i:]...), pd[j:]...)
+	na = append(append(na, oa[i:]...), pa[j:]...)
+	x.edgeCand[w], x.edgeDist[w], x.edgeAnc[w] = nc, nd, na
+	x.numEdges += len(pc)
+	rd := x.rootDist[w]
+	for j := range pc {
+		x.fwdPair[pc[j]] = append(x.fwdPair[pc[j]], int32(w))
+		x.fwdDist[pc[j]] = append(x.fwdDist[pc[j]], pd[j])
+		if diff := rd - pd[j]; diff > 0 {
+			x.gain[pc[j]] += int64(diff)
+		}
+	}
+}
+
+// scanNewTargetLocked runs the batch builder's per-target closure scan
+// for one of the delta's pairs, over the full (old + tail) buckets.
+func (x *Index) scanNewTargetLocked(w int) {
+	ont := x.metric.Ont
+	root := ont.Root()
+	eps := x.metric.Epsilon
+	target := &x.pairs[w]
+	gen := x.nextGenLocked()
+	ids, dists := ont.Ancestors(target.Concept)
+	var ec, ed, ea []int32
+	rd := x.rootDist[w]
+	for ai, anc := range ids {
+		isRoot := anc == root
+		d := dists[ai]
+		bc := x.bucketCand[anc]
+		bs := x.bucketSent[anc]
+		for bi := range bc {
+			cand := bc[bi]
+			if x.stamp[cand] == gen {
+				continue
+			}
+			if !isRoot {
+				diff := bs[bi] - target.Sentiment
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > eps {
+					continue
+				}
+			}
+			x.stamp[cand] = gen
+			ec = append(ec, cand)
+			ed = append(ed, d)
+			ea = append(ea, int32(ai))
+			x.fwdPair[cand] = append(x.fwdPair[cand], int32(w))
+			x.fwdDist[cand] = append(x.fwdDist[cand], d)
+			if diff := rd - d; diff > 0 {
+				x.gain[cand] += int64(diff)
+			}
+		}
+	}
+	x.edgeCand[w], x.edgeDist[w], x.edgeAnc[w] = ec, ed, ea
+	x.numEdges += len(ec)
+}
+
+// freezeLocked materializes a row-backed Graph in O(|U| + |W|): both
+// adjacency directions hand out per-row slice headers over the index's
+// storage instead of rebuilding a CSR over every edge. Aliasing is
+// safe because merges never mutate a row a frozen graph can see:
+//
+//   - backward rows are never appended in place (patchTargetLocked
+//     allocates a fresh spliced row and swaps the OUTER slice element),
+//     so the outer slices are copied per freeze and the inner rows
+//     shared;
+//   - forward rows ARE appended in place, so each frozen alias is
+//     capacity-capped — an in-cap append by a later merge lands beyond
+//     the frozen length, an over-cap append reallocates.
+//
+// Row contents and order match buildClosure's CSR exactly (backward:
+// ancestor-major emission order; forward: ascending target), which the
+// equivalence tests fuzz via the accessor-level row comparison.
+func (x *Index) freezeLocked() *Graph {
+	if x.frozen != nil {
+		return x.frozen
+	}
+	np := len(x.pairs)
+	nc := x.numCand
+	g := &Graph{
+		Metric:        x.metric,
+		Pairs:         x.pairs[:np:np],
+		RootDist:      x.rootDist[:np:np],
+		Weight:        x.ones[:np:np],
+		NumCandidates: nc,
+	}
+	// Build from scratch returns non-nil (empty) RootDist/Weight even
+	// for a pairless corpus; match that shape exactly.
+	if g.RootDist == nil {
+		g.RootDist = make([]int32, 0)
+	}
+	if g.Weight == nil {
+		g.Weight = make([]int32, 0)
+	}
+
+	g.rowBacked = true
+	g.rowEdges = x.numEdges
+	g.rowBwdCand = make([][]int32, np)
+	copy(g.rowBwdCand, x.edgeCand)
+	g.rowBwdDist = make([][]int32, np)
+	copy(g.rowBwdDist, x.edgeDist)
+	g.rowFwdPair = make([][]int32, nc)
+	g.rowFwdDist = make([][]int32, nc)
+	for u := 0; u < nc; u++ {
+		r := x.fwdPair[u]
+		g.rowFwdPair[u] = r[:len(r):len(r)]
+		d := x.fwdDist[u]
+		g.rowFwdDist[u] = d[:len(d):len(d)]
+	}
+
+	g.initGains = make([]int64, nc)
+	copy(g.initGains, x.gain)
+	x.frozen = g
+	x.frozenReviews = x.numReviews
+	return g
+}

@@ -1,0 +1,227 @@
+package coverage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"osars/internal/model"
+	"osars/internal/ontology"
+)
+
+// randomDAG builds a random multi-parent ontology: n concepts under a
+// root, each with one random parent among the earlier concepts plus a
+// few extra random edges (earlier → later keeps it acyclic).
+func randomDAG(t testing.TB, rng *rand.Rand, n int) *ontology.Ontology {
+	t.Helper()
+	var b ontology.Builder
+	ids := make([]ontology.ConceptID, 0, n+1)
+	ids = append(ids, b.AddConcept("root"))
+	for i := 0; i < n; i++ {
+		parent := ids[rng.Intn(len(ids))]
+		ids = append(ids, b.Child(parent, fmt.Sprintf("c%d", i)))
+	}
+	extra := rng.Intn(n + 1)
+	for i := 0; i < extra; i++ {
+		pi := rng.Intn(len(ids) - 1)
+		ci := pi + 1 + rng.Intn(len(ids)-pi-1)
+		// Duplicate edges are rejected by the builder; skip them.
+		_ = b.AddEdge(ids[pi], ids[ci])
+	}
+	o, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// randomItem generates reviews over the ontology's concepts with
+// quantized sentiments, so the ε boundary is exercised exactly.
+func randomItem(rng *rand.Rand, o *ontology.Ontology, numReviews int) *model.Item {
+	item := &model.Item{ID: "fuzz", Name: "fuzz"}
+	for ri := 0; ri < numReviews; ri++ {
+		r := model.Review{ID: fmt.Sprintf("r%d", ri)}
+		for si := 0; si < rng.Intn(4); si++ {
+			s := model.Sentence{Text: fmt.Sprintf("s%d/%d", ri, si)}
+			for pi := 0; pi < rng.Intn(4); pi++ {
+				s.Pairs = append(s.Pairs, model.Pair{
+					Concept:   ontology.ConceptID(rng.Intn(o.Len())),
+					Sentiment: float64(rng.Intn(21)-10) / 10,
+				})
+			}
+			r.Sentences = append(r.Sentences, s)
+		}
+		item.Reviews = append(item.Reviews, r)
+	}
+	return item
+}
+
+var allGranularities = []model.Granularity{
+	model.GranularityPairs, model.GranularitySentences, model.GranularityReviews,
+}
+
+// requireInitGains asserts the index-maintained warm-start seed equals
+// the initial greedy gains computed from the graph.
+func requireInitGains(t *testing.T, g *Graph, label string) {
+	t.Helper()
+	gains := g.InitGains()
+	if gains == nil {
+		t.Fatalf("%s: frozen graph has no InitGains", label)
+	}
+	if len(gains) != g.NumCandidates {
+		t.Fatalf("%s: InitGains len = %d, want %d", label, len(gains), g.NumCandidates)
+	}
+	for u := 0; u < g.NumCandidates; u++ {
+		want := int64(0)
+		pairs, dists := g.CoveredRow(u)
+		for i, w := range pairs {
+			if diff := g.RootDist[w] - dists[i]; diff > 0 {
+				want += int64(diff)
+			}
+		}
+		if gains[u] != want {
+			t.Fatalf("%s: InitGains[%d] = %d, want %d", label, u, gains[u], want)
+		}
+	}
+}
+
+// requireIndexMatchesBuild merges the item into a fresh index along
+// the given append schedule, comparing every intermediate Freeze to a
+// from-scratch Build of the same prefix.
+func requireIndexMatchesBuild(t *testing.T, m model.Metric, item *model.Item, schedule []int, label string) {
+	t.Helper()
+	for _, g := range allGranularities {
+		idx := NewIndex(m, g)
+		done := 0
+		for step, chunk := range schedule {
+			idx.Merge(item.Reviews[done : done+chunk])
+			done += chunk
+			prefix := &model.Item{ID: item.ID, Name: item.Name, Reviews: item.Reviews[:done]}
+			got := idx.Freeze()
+			want := Build(m, prefix, g)
+			lbl := fmt.Sprintf("%s/%v/step%d(+%d)", label, g, step, chunk)
+			requireGraphsEqual(t, got, want, lbl)
+			requireInitGains(t, got, lbl)
+			if again := idx.Freeze(); again != got {
+				t.Fatalf("%s: Freeze not memoized between merges", lbl)
+			}
+		}
+	}
+}
+
+// randomSchedule partitions n reviews into random append chunk sizes
+// (zero-length chunks included: empty merges must be no-ops).
+func randomSchedule(rng *rand.Rand, n int) []int {
+	var out []int
+	for left := n; left > 0; {
+		c := rng.Intn(left + 1) // may be 0
+		out = append(out, c)
+		left -= c
+	}
+	out = append(out, 0)
+	return out
+}
+
+// TestIndexMatchesBuildDiamond pins merge/freeze equivalence on the
+// multi-parent diamond DAG with a one-review-at-a-time schedule — the
+// store's steady-state append pattern.
+func TestIndexMatchesBuildDiamond(t *testing.T) {
+	o, ids := diamondOntology(t)
+	m := model.Metric{Ont: o, Epsilon: 0.5}
+	item := &model.Item{ID: "d1", Reviews: []model.Review{
+		{ID: "r0", Sentences: []model.Sentence{
+			{Text: "a", Pairs: []model.Pair{{Concept: ids["oled"], Sentiment: 0.9}, {Concept: ids["screen"], Sentiment: 0.7}}},
+			{Text: "b", Pairs: []model.Pair{{Concept: ids["burnin"], Sentiment: -0.7}}},
+		}},
+		{ID: "r1", Sentences: []model.Sentence{
+			{Text: "c"}, // pairless sentence: candidate that covers nothing
+			{Text: "d", Pairs: []model.Pair{{Concept: ids["panel"], Sentiment: -0.9}, {Concept: ids["device"], Sentiment: 0.6}}},
+		}},
+		{ID: "r2"}, // pairless review
+		{ID: "r3", Sentences: []model.Sentence{
+			{Text: "e", Pairs: []model.Pair{{Concept: ids["burnin"], Sentiment: 0.8}, {Concept: ids["oled"], Sentiment: -0.2}}},
+		}},
+	}}
+	schedule := []int{1, 1, 1, 1}
+	requireIndexMatchesBuild(t, m, item, schedule, "diamond")
+
+	// One-shot merge must equal the same corpus merged review by review.
+	for _, g := range allGranularities {
+		idx := NewIndex(m, g)
+		idx.Merge(item.Reviews)
+		requireGraphsEqual(t, idx.Freeze(), Build(m, item, g), "diamond/oneshot/"+g.String())
+	}
+}
+
+// TestIndexMatchesBuildFuzz fuzzes merge/freeze byte-equivalence
+// against from-scratch builds: random DAGs, random corpora, random
+// append schedules, all granularities, several epsilons.
+func TestIndexMatchesBuildFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1138))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		o := randomDAG(t, rng, 3+rng.Intn(15))
+		eps := []float64{0.1, 0.3, 1.0}[rng.Intn(3)]
+		m := model.Metric{Ont: o, Epsilon: eps}
+		item := randomItem(rng, o, 1+rng.Intn(12))
+		schedule := randomSchedule(rng, len(item.Reviews))
+		requireIndexMatchesBuild(t, m, item, schedule,
+			fmt.Sprintf("fuzz%d(eps=%.1f)", trial, eps))
+	}
+}
+
+// TestIndexGraphCatchUp covers the lazy-rebuild contract of
+// Index.Graph: a behind index catches up to the snapshot, an ahead
+// index refuses (nil) so the caller falls back to a cold build.
+func TestIndexGraphCatchUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	o := randomDAG(t, rng, 8)
+	m := model.Metric{Ont: o, Epsilon: 0.3}
+	item := randomItem(rng, o, 6)
+
+	idx := NewIndex(m, model.GranularitySentences)
+	idx.Merge(item.Reviews[:2])
+	// Catch-up from 2 to 6 reviews happens inside Graph.
+	got := idx.Graph(item)
+	if got == nil {
+		t.Fatal("Graph returned nil for a behind index")
+	}
+	requireGraphsEqual(t, got, Build(m, item, model.GranularitySentences), "catch-up")
+	if idx.NumReviews() != len(item.Reviews) {
+		t.Fatalf("NumReviews = %d after catch-up, want %d", idx.NumReviews(), len(item.Reviews))
+	}
+
+	// A snapshot OLDER than the index cannot be served incrementally.
+	stale := &model.Item{ID: item.ID, Reviews: item.Reviews[:3]}
+	if g := idx.Graph(stale); g != nil {
+		t.Fatal("Graph served a snapshot older than the index")
+	}
+}
+
+// TestIndexFrozenGraphsImmutable checks that a frozen graph's rows are
+// not mutated by later merges (readers may hold graphs across appends).
+func TestIndexFrozenGraphsImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	o := randomDAG(t, rng, 10)
+	m := model.Metric{Ont: o, Epsilon: 0.5}
+	item := randomItem(rng, o, 8)
+
+	idx := NewIndex(m, model.GranularityReviews)
+	idx.Merge(item.Reviews[:4])
+	snap := idx.Freeze()
+	before := graphEdges(t, snap)
+	costBefore := snap.CostOf([]int{0})
+
+	idx.Merge(item.Reviews[4:])
+	idx.Freeze()
+
+	if got := graphEdges(t, snap); fmt.Sprint(got) != fmt.Sprint(before) {
+		t.Fatal("frozen graph edges changed after a later merge")
+	}
+	if got := snap.CostOf([]int{0}); got != costBefore {
+		t.Fatalf("frozen graph CostOf changed after a later merge: %v → %v", costBefore, got)
+	}
+}

@@ -493,6 +493,10 @@ func (s *ShardedStore) Stats() store.Stats {
 		agg.StaleItems += p.StaleItems
 		agg.Reannotations += p.Reannotations
 		agg.OntologyActivations += p.OntologyActivations
+		agg.IndexMerges += p.IndexMerges
+		agg.IndexRebuilds += p.IndexRebuilds
+		agg.IndexWarmHits += p.IndexWarmHits
+		agg.IndexWarmFallbacks += p.IndexWarmFallbacks
 		if p.ActiveOntologyVersion != agg.ActiveOntologyVersion {
 			// A transient mid-activation scrape; never report one shard's
 			// version as the whole corpus's.

@@ -168,15 +168,19 @@ func (c *lruCache) Evictions() uint64 {
 func summarySize(key cacheKey, sum *Summary) int64 {
 	const structOverhead = 192 // Summary + lruEntry + list.Element + map slot
 	n := int64(structOverhead)
-	n += int64(len(key.id)) + int64(len(sum.ItemID))
+	n += int64(len(key.id)) + int64(len(key.ver)) + int64(len(sum.ItemID))
 	n += int64(8 * len(sum.Indices))
 	n += int64(16 * len(sum.Pairs))
-	n += int64(16 * (len(sum.Sentences) + len(sum.ReviewIDs))) // string headers
+	n += int64(16 * (len(sum.Sentences) + len(sum.ReviewIDs) + len(sum.Concepts))) // string headers
 	for _, s := range sum.Sentences {
 		n += int64(len(s))
 	}
 	for _, id := range sum.ReviewIDs {
 		n += int64(len(id))
 	}
+	for _, c := range sum.Concepts {
+		n += int64(len(c))
+	}
+	n += int64(len(sum.Ontology)) + int64(len(sum.OntologyVersion))
 	return n
 }

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"osars/internal/extract"
+	"osars/internal/model"
+)
+
+// manyPhoneReviews fabricates n raw reviews by cycling the fixture
+// texts with fresh IDs, so appends keep extending the corpus.
+func manyPhoneReviews(n int) []extract.RawReview {
+	out := make([]extract.RawReview, n)
+	for i := range out {
+		base := phoneReviews[i%len(phoneReviews)]
+		out[i] = extract.RawReview{ID: fmt.Sprintf("m%d", i), Text: base.Text, Rating: base.Rating}
+	}
+	return out
+}
+
+// requireSameSummary compares the solver-determined parts of two
+// summaries (selection, cost, content) while ignoring provenance that
+// legitimately differs across stores.
+func requireSameSummary(t *testing.T, got, want *Summary, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Indices, want.Indices) {
+		t.Fatalf("%s: Indices = %v, want %v", label, got.Indices, want.Indices)
+	}
+	if got.Cost != want.Cost || got.NumPairs != want.NumPairs || got.K != want.K {
+		t.Fatalf("%s: cost/pairs/k = (%v,%d,%d), want (%v,%d,%d)",
+			label, got.Cost, got.NumPairs, got.K, want.Cost, want.NumPairs, want.K)
+	}
+	if !reflect.DeepEqual(got.Pairs, want.Pairs) ||
+		!reflect.DeepEqual(got.Sentences, want.Sentences) ||
+		!reflect.DeepEqual(got.ReviewIDs, want.ReviewIDs) ||
+		!reflect.DeepEqual(got.Concepts, want.Concepts) {
+		t.Fatalf("%s: summary content diverged:\n got %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestIndexedSummariesMatchCold is the store-level equivalence check:
+// with appends interleaved between solves, an indexed store must
+// return byte-identical greedy summaries to a store running with the
+// index disabled (cold rebuild every solve), at every granularity.
+func TestIndexedSummariesMatchCold(t *testing.T) {
+	cfgWarm := testConfig()
+	cfgWarm.MaxCacheEntries = -1
+	cfgCold := testConfig()
+	cfgCold.MaxCacheEntries = -1
+	cfgCold.DisableCoverageIndex = true
+	warm, err := New(cfgWarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(cfgCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raws := manyPhoneReviews(12)
+	grans := []model.Granularity{
+		model.GranularityPairs, model.GranularitySentences, model.GranularityReviews,
+	}
+	for i := range raws {
+		for _, s := range []*Store{warm, cold} {
+			if _, err := s.AppendReviews("p1", "Acme", raws[i:i+1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, g := range grans {
+			for _, k := range []int{2, 5} {
+				sw, _, err := warm.Summary("p1", k, g, MethodGreedy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc, _, err := cold.Summary("p1", k, g, MethodGreedy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameSummary(t, sw, sc, fmt.Sprintf("n=%d/%v/k=%d", i+1, g, k))
+			}
+		}
+	}
+
+	st := warm.Stats()
+	if st.IndexRebuilds == 0 {
+		t.Fatalf("no lazy index rebuild recorded: %+v", st)
+	}
+	if st.IndexMerges == 0 {
+		t.Fatalf("no append-path index merges recorded: %+v", st)
+	}
+	if st.IndexWarmHits == 0 {
+		t.Fatalf("repeated same-k solves over appends never hit warm-start: %+v", st)
+	}
+	if cs := cold.Stats(); cs.IndexRebuilds != 0 || cs.IndexMerges != 0 || cs.IndexWarmHits != 0 || cs.IndexWarmFallbacks != 0 {
+		t.Fatalf("disabled-index store recorded index activity: %+v", cs)
+	}
+}
+
+// TestIndexInvalidatedOnOntologySwap: a hot swap re-annotates the
+// corpus lazily, so the index built over the old annotations must be
+// discarded with them — the post-swap summary must equal what a fresh
+// store under the new runtime computes.
+func TestIndexInvalidatedOnOntologySwap(t *testing.T) {
+	v1 := phoneRuntime(t, 0.5)
+	v2 := phoneRuntime(t, 0.9)
+	s, err := New(Config{Runtime: v1, MaxCacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := manyPhoneReviews(8)
+	if _, err := s.AppendReviews("p1", "Acme", raws); err != nil {
+		t.Fatal(err)
+	}
+	// Build and use the v1 index.
+	if _, _, err := s.Summary("p1", 3, model.GranularitySentences, MethodGreedy); err != nil {
+		t.Fatal(err)
+	}
+	rebuildsBefore := s.Stats().IndexRebuilds
+
+	if err := s.ActivateOntology(v2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Summary("p1", 3, model.GranularitySentences, MethodGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := New(Config{Runtime: v2, MaxCacheEntries: -1, DisableCoverageIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.AppendReviews("p1", "Acme", raws); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := fresh.Summary("p1", 3, model.GranularitySentences, MethodGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSummary(t, got, want, "post-swap")
+	if got.OntologyVersion != v2.Version {
+		t.Fatalf("post-swap summary version = %q, want %q", got.OntologyVersion, v2.Version)
+	}
+	if after := s.Stats().IndexRebuilds; after <= rebuildsBefore {
+		t.Fatalf("swap did not force an index rebuild: before=%d after=%d", rebuildsBefore, after)
+	}
+}
+
+// TestIndexLazyRebuildAfterRecovery: indexes are never persisted, so a
+// store recovered from disk must rebuild them lazily at first solve —
+// and the recovered indexed summary must match the pre-crash one.
+func TestIndexLazyRebuildAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.MaxCacheEntries = -1
+	cfg.DataDir = dir
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendReviews("p1", "Acme", manyPhoneReviews(8)); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := s.Summary("p1", 3, model.GranularityPairs, MethodGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, _, err := s2.Summary("p1", 3, model.GranularityPairs, MethodGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSummary(t, got, want, "recovered")
+	if st := s2.Stats(); st.IndexRebuilds == 0 {
+		t.Fatalf("recovered store solved without a lazy index rebuild: %+v", st)
+	}
+}
+
+// TestReannotationRaceInvalidatesIndex drives the itemAt optimistic
+// retry branch against a concurrent append (run it under -race): the
+// solve blocks after re-annotating a stale snapshot, an append bumps
+// the generation underneath, and the publish must retry against the
+// new corpus — with the final summary identical to a cold solve over
+// the full post-append corpus.
+func TestReannotationRaceInvalidatesIndex(t *testing.T) {
+	v1 := phoneRuntime(t, 0.5)
+	v2 := phoneRuntime(t, 0.9)
+	s, err := New(Config{Runtime: v1, MaxCacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := manyPhoneReviews(6)
+	if _, err := s.AppendReviews("p1", "Acme", raws[:4]); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the v1 index so the swap has something to invalidate.
+	if _, _, err := s.Summary("p1", 2, model.GranularitySentences, MethodGreedy); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ActivateOntology(v2); err != nil {
+		t.Fatal(err)
+	}
+
+	// First post-swap solve re-annotates. The hook fires between the
+	// off-lock annotation and the optimistic publish; racing an append
+	// through that window forces the e2.gen != gen retry.
+	appended := make(chan struct{})
+	var once sync.Once
+	s.testAnnotateHook = func(id string) {
+		once.Do(func() {
+			if _, err := s.AppendReviews("p1", "", raws[4:]); err != nil {
+				t.Error(err)
+			}
+			close(appended)
+		})
+	}
+	got, _, err := s.Summary("p1", 2, model.GranularitySentences, MethodGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-appended
+	s.testAnnotateHook = nil
+
+	// The retried solve must have seen the full six-review corpus under
+	// v2 annotations.
+	fresh, err := New(Config{Runtime: v2, MaxCacheEntries: -1, DisableCoverageIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.AppendReviews("p1", "Acme", raws); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := fresh.Summary("p1", 2, model.GranularitySentences, MethodGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSummary(t, got, want, "raced re-annotation")
+
+	// And the store stays coherent afterwards: further appends + indexed
+	// solves still match cold.
+	if _, err := s.AppendReviews("p1", "", manyPhoneReviews(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Summary("p1", 2, model.GranularitySentences, MethodGreedy); err != nil {
+		t.Fatal(err)
+	}
+}

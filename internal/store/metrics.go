@@ -13,12 +13,19 @@ import "osars/internal/obs"
 // is the disabled state.
 type storeMetrics struct {
 	appendSeconds   *obs.Histogram    // end-to-end AppendReviews latency (annotate + commit)
-	solveSeconds    [4]*obs.Histogram // coverage-solve latency, indexed by Method
+	graphSeconds    *obs.Histogram    // coverage-graph acquisition (cold build or index catch-up + freeze)
+	solveSeconds    [4]*obs.Histogram // selection-algorithm latency, indexed by Method
 	cacheHits       *obs.Counter
 	cacheMisses     *obs.Counter
 	cacheEvictions  *obs.Counter
 	commitBatch     *obs.Histogram // group-commit batch size (records per durable commit)
 	snapshotSeconds *obs.Histogram // snapshot + WAL compaction duration
+
+	// Incremental coverage-index instruments.
+	indexMergeSeconds  *obs.Histogram // append-path index merges (O(delta) maintenance)
+	indexRebuilds      *obs.Counter   // indexes built from scratch at solve time
+	indexWarmHits      *obs.Counter   // warm-start greedy replays confirmed
+	indexWarmFallbacks *obs.Counter   // warm-start seeds absent or invalidated
 
 	// Ontology lifecycle instruments.
 	reannotations *obs.Counter   // lazy re-annotations after an ontology swap
@@ -44,6 +51,20 @@ func newStoreMetrics(reg *obs.Registry, shard string) storeMetrics {
 		appendSeconds: reg.HistogramVec("osars_store_append_seconds",
 			"End-to-end AppendReviews latency (annotation plus durable commit) in seconds.",
 			nil, "shard").With(shard),
+		graphSeconds: reg.HistogramVec("osars_store_graph_build_seconds",
+			"Coverage-graph acquisition latency in seconds: a cold build, or the incremental index's catch-up plus freeze.",
+			nil, "shard").With(shard),
+		indexMergeSeconds: reg.HistogramVec("osars_store_index_merge_seconds",
+			"Append-path incremental coverage-index merge latency in seconds (delta maintenance, off the commit critical section).",
+			nil, "shard").With(shard),
+		indexRebuilds: reg.CounterVec("osars_store_index_rebuilds_total",
+			"Coverage indexes rebuilt from scratch at solve time (recovered snapshots, replicas, first solve of an item).",
+			"shard").With(shard),
+		indexWarmHits: reg.CounterVec("osars_store_index_warm_hits_total",
+			"Warm-start greedy solves whose previous selection replayed unchanged.", "shard").With(shard),
+		indexWarmFallbacks: reg.CounterVec("osars_store_index_warm_fallbacks_total",
+			"Warm-start greedy solves with no usable seed or a seed invalidated by the corpus delta.",
+			"shard").With(shard),
 		cacheHits: reg.CounterVec("osars_store_cache_hits_total",
 			"Summary-cache hits.", "shard").With(shard),
 		cacheMisses: reg.CounterVec("osars_store_cache_misses_total",
@@ -73,7 +94,7 @@ func newStoreMetrics(reg *obs.Registry, shard string) storeMetrics {
 			"WAL segment rotations, including the initial segment.", "shard").With(shard),
 	}
 	solves := reg.HistogramVec("osars_store_solve_seconds",
-		"Coverage-solve latency in seconds, per summarization method.",
+		"Selection-algorithm latency in seconds, per summarization method (graph acquisition is osars_store_graph_build_seconds).",
 		nil, "shard", "method")
 	for _, mm := range []Method{MethodGreedy, MethodRR, MethodILP, MethodLocalSearch} {
 		m.solveSeconds[mm] = solves.With(shard, mm.String())

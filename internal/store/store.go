@@ -97,6 +97,11 @@ type Config struct {
 	// MaxCacheBytes bounds the cache's approximate resident bytes
 	// (default DefaultMaxCacheBytes; negative means entries-only).
 	MaxCacheBytes int64
+	// DisableCoverageIndex turns off the per-item incremental coverage
+	// index: every summary solve rebuilds the coverage graph from
+	// scratch (the pre-index behavior). Mainly for benchmarks and
+	// incident bisection.
+	DisableCoverageIndex bool
 
 	// DataDir enables durable persistence: ingestion is written to a
 	// segmented write-ahead log in this directory before it is
@@ -165,17 +170,29 @@ type Store struct {
 	// persist is the durability subsystem (nil for in-memory stores).
 	persist *persister
 
+	// noIndex disables the incremental coverage index
+	// (Config.DisableCoverageIndex).
+	noIndex bool
+
 	appends       atomic.Uint64
 	solves        atomic.Uint64
 	hits          atomic.Uint64
 	misses        atomic.Uint64
 	reannotations atomic.Uint64
 	activations   atomic.Uint64
+	indexMerges   atomic.Uint64
+	indexRebuilds atomic.Uint64
+	warmHits      atomic.Uint64
+	warmFallbacks atomic.Uint64
 
 	// testSolveHook, when set, runs after a summary solve completes
 	// but before the result is cached. Tests use it to interleave a
 	// Delete with an in-flight solve deterministically.
 	testSolveHook func(id string)
+	// testAnnotateHook, when set, runs in itemAt between the off-lock
+	// re-annotation and the optimistic publish. Tests use it to race an
+	// AppendReviews against the publish and force the retry branch.
+	testAnnotateHook func(id string)
 }
 
 // entry is one item's state. The *model.Item is treated as immutable:
@@ -199,6 +216,33 @@ type entry struct {
 	// is re-annotated (from raws) before the next solve. annVerMixed
 	// marks a corpus whose reviews span two pipeline versions.
 	annVer string
+
+	// indexes are the per-granularity incremental coverage indexes,
+	// created lazily on the first solve and advanced by AppendReviews
+	// off the commit critical section. nil slots mean "rebuild lazily"
+	// (recovered snapshots, replicas applying streamed ops, never
+	// solved). Invalidated wherever annVer changes — the index is
+	// pinned to the ontology that annotated the corpus.
+	indexes [3]*coverage.Index
+	// warm holds the previous greedy selection per (k, granularity),
+	// the warm-start seed for the next solve of the appended corpus.
+	// Invalidated together with indexes.
+	warm map[warmKey]*summarize.Result
+}
+
+// warmKey addresses one previous greedy result: the effective
+// (clamped) k and the granularity it was solved at.
+type warmKey struct {
+	k int
+	g model.Granularity
+}
+
+// invalidateIndexes drops the entry's incremental indexes and
+// warm-start seeds. Called (under s.mu) wherever annVer changes: a
+// mixed-version append and the lazy re-annotation publish.
+func (e *entry) invalidateIndexes() {
+	e.indexes = [3]*coverage.Index{}
+	e.warm = nil
 }
 
 // annVerMixed marks an entry whose merged annotations span more than
@@ -239,6 +283,7 @@ func New(cfg Config) (*Store, error) {
 		items:   make(map[string]*entry),
 		cache:   newLRU(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
 		metrics: newStoreMetrics(cfg.Obs, cfg.ObsShard),
+		noIndex: cfg.DisableCoverageIndex,
 	}
 	s.rt.Store(cfg.Runtime)
 	s.cache.evicted = s.metrics.cacheEvictions
@@ -318,20 +363,63 @@ func (s *Store) AppendReviews(id, name string, reviews []extract.RawReview) (Ite
 		if err != nil {
 			return ItemStats{}, fmt.Errorf("store: wal append: %w", err)
 		}
+		// Index maintenance runs on the appending writer's thread after
+		// the commit leader released s.mu — off the critical section,
+		// like annotation.
+		s.updateIndexes(id, rt.Version)
 		s.metrics.appendSeconds.ObserveSince(now)
 		return stats, nil
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	// Appending nothing to an existing item without a rename is a
 	// no-op on the generation.
 	if e, ok := s.items[id]; ok && len(annotated) == 0 && (name == "" || name == e.item.Name) {
-		return e.stats(), nil
+		st := e.stats()
+		s.mu.Unlock()
+		return st, nil
 	}
 	stats := s.applyAppendLocked(id, name, reviews, annotated, rt.Version, now)
 	s.appends.Add(1)
+	s.mu.Unlock()
+	s.updateIndexes(id, rt.Version)
 	s.metrics.appendSeconds.ObserveSince(now)
 	return stats, nil
+}
+
+// updateIndexes advances the item's live incremental coverage indexes
+// over the just-appended reviews, outside every store lock. Only
+// indexes that already exist are advanced (creation stays lazy at
+// solve time, so never-summarized items pay nothing); an entry whose
+// annotations no longer match ver (a racing swap went mixed) is
+// skipped — its indexes were invalidated with it.
+func (s *Store) updateIndexes(id, ver string) {
+	if s.noIndex {
+		return
+	}
+	s.mu.RLock()
+	e, ok := s.items[id]
+	var item *model.Item
+	var idxs [3]*coverage.Index
+	if ok && e.annVer == ver {
+		item = e.item
+		idxs = e.indexes
+	}
+	s.mu.RUnlock()
+	if item == nil {
+		return
+	}
+	advanced := false
+	start := time.Now()
+	for _, idx := range idxs {
+		if idx != nil {
+			idx.Advance(item)
+			advanced = true
+		}
+	}
+	if advanced {
+		s.indexMerges.Add(1)
+		s.metrics.indexMergeSeconds.ObserveSince(start)
+	}
 }
 
 // applyAppendLocked merges annotated reviews into the item (creating
@@ -395,7 +483,10 @@ func (s *Store) applyAppendLocked(id, name string, raws []extract.RawReview, ann
 	if existed && e.annVer != annVer {
 		// The corpus now mixes annotations from two pipeline versions;
 		// the sentinel forces a re-annotation before the next solve.
+		// The incremental indexes were built over the old annotations,
+		// so they go with it — exactly like the annVer invalidation.
 		e.annVer = annVerMixed
+		e.invalidateIndexes()
 	}
 	return e.stats()
 }
@@ -640,6 +731,9 @@ func (s *Store) itemAt(rt *ontoreg.Runtime, id string) (*model.Item, uint64, boo
 		}
 		start := time.Now()
 		annotated := rt.Pipeline.AnnotateReviews(raws, 0)
+		if h := s.testAnnotateHook; h != nil {
+			h(id)
+		}
 
 		s.mu.Lock()
 		e2, ok := s.items[id]
@@ -662,6 +756,9 @@ func (s *Store) itemAt(rt *ontoreg.Runtime, id string) (*model.Item, uint64, boo
 		ni := &model.Item{ID: snap.ID, Name: snap.Name, Reviews: annotated}
 		e2.item = ni
 		e2.annVer = rt.Version
+		// The old indexes cover annotations from the previous pipeline
+		// version; drop them so the next solve rebuilds over ni.
+		e2.invalidateIndexes()
 		e2.numSentences, e2.numPairs = countAnnotations(annotated)
 		if e2.raws == nil {
 			e2.raws = raws
@@ -674,20 +771,110 @@ func (s *Store) itemAt(rt *ontoreg.Runtime, id string) (*model.Item, uint64, boo
 	}
 }
 
+// graphFor acquires the coverage graph for a solve: the item's
+// incremental index when one is usable (creating it lazily on first
+// solve — also the path recovered snapshots and replicas take, since
+// indexes are never persisted), a cold Build otherwise. The returned
+// graph is immutable either way.
+func (s *Store) graphFor(rt *ontoreg.Runtime, item *model.Item, g model.Granularity) *coverage.Graph {
+	if s.noIndex {
+		return coverage.Build(rt.Metric, item, g)
+	}
+	s.mu.RLock()
+	e, ok := s.items[item.ID]
+	usable := ok && e.annVer == rt.Version
+	var idx *coverage.Index
+	if usable {
+		idx = e.indexes[g]
+	}
+	s.mu.RUnlock()
+	if !usable {
+		// Deleted underneath us, or annotations in flux (mixed/stale
+		// version): serve this solve cold rather than index a snapshot
+		// the entry no longer agrees with.
+		return coverage.Build(rt.Metric, item, g)
+	}
+	if idx == nil {
+		// Lazy rebuild, off-lock (it's a full O(corpus) pass).
+		idx = coverage.NewIndex(rt.Metric, g)
+		idx.Advance(item)
+		s.indexRebuilds.Add(1)
+		s.metrics.indexRebuilds.Inc()
+		s.mu.Lock()
+		if e2, ok := s.items[item.ID]; ok && e2 == e && e2.annVer == rt.Version && e2.indexes[g] == nil {
+			e2.indexes[g] = idx
+		}
+		s.mu.Unlock()
+	}
+	if graph := idx.Graph(item); graph != nil {
+		return graph
+	}
+	// The shared index merged past our pinned snapshot (a concurrent
+	// append won); this stale solve builds cold.
+	return coverage.Build(rt.Metric, item, g)
+}
+
+// warmResult fetches the previous greedy selection cached on the entry
+// for this (k, granularity), if its annotations still match.
+func (s *Store) warmResult(id, ver string, k int, g model.Granularity) *summarize.Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.items[id]
+	if !ok || e.annVer != ver || e.warm == nil {
+		return nil
+	}
+	return e.warm[warmKey{k: k, g: g}]
+}
+
+// storeWarm records a greedy selection as the warm-start seed for the
+// next solve at the same (k, granularity).
+func (s *Store) storeWarm(id, ver string, k int, g model.Granularity, res *summarize.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[id]
+	if !ok || e.annVer != ver {
+		return
+	}
+	if e.warm == nil {
+		e.warm = make(map[warmKey]*summarize.Result)
+	}
+	e.warm[warmKey{k: k, g: g}] = res
+}
+
 // solve runs the coverage solve on an immutable item snapshot under
-// the pinned runtime.
+// the pinned runtime. Graph acquisition (cold build or index freeze)
+// and the selection algorithm are timed separately:
+// osars_store_graph_build_seconds vs osars_store_solve_seconds.
 func (s *Store) solve(rt *ontoreg.Runtime, item *model.Item, gen uint64, k int, g model.Granularity, m Method) (*Summary, error) {
 	s.solves.Add(1)
-	solveStart := time.Now()
-	graph := coverage.Build(rt.Metric, item, g)
+	buildStart := time.Now()
+	graph := s.graphFor(rt, item, g)
+	s.metrics.graphSeconds.ObserveSince(buildStart)
 	if k > graph.NumCandidates {
 		k = graph.NumCandidates
 	}
+	solveStart := time.Now()
 	var res *summarize.Result
 	var err error
 	switch m {
 	case MethodGreedy:
-		res = summarize.Greedy(graph, k)
+		if graph.InitGains() != nil {
+			// Index-frozen graph: warm-start from the previous selection
+			// at this (k, granularity). Identical result either way.
+			prev := s.warmResult(item.ID, rt.Version, k, g)
+			var hit bool
+			res, hit = summarize.GreedyWarm(graph, k, prev)
+			if hit {
+				s.warmHits.Add(1)
+				s.metrics.indexWarmHits.Inc()
+			} else {
+				s.warmFallbacks.Add(1)
+				s.metrics.indexWarmFallbacks.Inc()
+			}
+			s.storeWarm(item.ID, rt.Version, k, g, res)
+		} else {
+			res = summarize.Greedy(graph, k)
+		}
 	case MethodRR:
 		res, err = summarize.RandomizedRounding(graph, k, rand.New(rand.NewSource(s.seed)), nil)
 	case MethodILP:
@@ -757,6 +944,14 @@ type Stats struct {
 	Reannotations         uint64 `json:"reannotations,omitempty"`
 	OntologyActivations   uint64 `json:"ontology_activations,omitempty"`
 
+	// Incremental coverage-index counters: append-path merges, lazy
+	// solve-time rebuilds (first solve, recovered snapshots, replicas),
+	// and warm-start greedy hit/fallback totals.
+	IndexMerges        uint64 `json:"index_merges,omitempty"`
+	IndexRebuilds      uint64 `json:"index_rebuilds,omitempty"`
+	IndexWarmHits      uint64 `json:"index_warm_hits,omitempty"`
+	IndexWarmFallbacks uint64 `json:"index_warm_fallbacks,omitempty"`
+
 	// Durability counters (zero for in-memory stores).
 	Durable          bool   `json:"durable,omitempty"`
 	WALLastSeq       uint64 `json:"wal_last_seq,omitempty"`
@@ -800,6 +995,10 @@ func (s *Store) Stats() Stats {
 		StaleItems:            stale,
 		Reannotations:         s.reannotations.Load(),
 		OntologyActivations:   s.activations.Load(),
+		IndexMerges:           s.indexMerges.Load(),
+		IndexRebuilds:         s.indexRebuilds.Load(),
+		IndexWarmHits:         s.warmHits.Load(),
+		IndexWarmFallbacks:    s.warmFallbacks.Load(),
 	}
 	if p := s.persist; p != nil {
 		st.Durable = true

@@ -153,6 +153,116 @@ func Greedy(g *coverage.Graph, k int) *Result {
 	return res
 }
 
+// GreedyWarm is Greedy restructured for warm, append-mostly serving:
+// the same selection as the cold run, computed lazily.
+//
+//   - Key initialization: when the graph carries maintained initial
+//     gains (Graph.InitGains, present on index-frozen graphs), the
+//     O(|E|) initialization scan becomes an O(|U|) copy.
+//   - Selection: lazy (CELF-style) instead of eager. Stored heap keys
+//     are upper bounds — a candidate's gain only shrinks as F grows
+//     (submodularity), and keys are only ever set to a formerly exact
+//     gain. Pop the max, recompute its exact gain over its covered
+//     row; if the gain still equals the stored key the pop is the true
+//     argmax and is selected, otherwise the candidate is pushed back
+//     with the refreshed key. This skips Greedy's
+//     neighbor-of-neighbor key maintenance entirely — nothing ever
+//     touches the backward adjacency.
+//
+// The result is IDENTICAL to Greedy's on every input, ties included:
+// a fresh pop's key bounds every other stored key and therefore every
+// other true gain, so its candidate has maximal gain; and an
+// equal-gain candidate with a smaller index either sits fresh in the
+// heap (the indexed heap breaks key ties by smaller index, so it pops
+// first) or sits stale with a larger key (it pops even earlier,
+// refreshes to the tied key, reinserts, and again wins the index
+// tie-break). Equivalence is fuzzed against cold Greedy across batch-
+// and index-built graphs.
+//
+// prev — the previous solve's selection at the same (k, granularity)
+// — is compared step by step; warm reports whether it survived the
+// corpus delta. A false return (nil prev, shorter prev, or a
+// divergence caused by the delta) is the fallback case the store
+// counts, not a different answer.
+func GreedyWarm(g *coverage.Graph, k int, prev *Result) (res *Result, warm bool) {
+	checkK(g, k)
+	n := g.NumCandidates
+
+	s := greedyPool.Get().(*greedyScratch)
+	defer greedyPool.Put(s)
+
+	if cap(s.curDist) < len(g.Pairs) {
+		s.curDist = make([]int32, len(g.Pairs))
+	}
+	curDist := s.curDist[:len(g.Pairs)]
+	copy(curDist, g.RootDist)
+
+	if cap(s.keys) < n {
+		s.keys = make([]float64, n)
+	}
+	keys := s.keys[:n]
+	if gains := g.InitGains(); gains != nil {
+		// Index-frozen graph: the initial keys were maintained at merge
+		// time (unit weights by construction of the index).
+		for u := 0; u < n; u++ {
+			keys[u] = float64(gains[u])
+		}
+	} else {
+		for u := 0; u < n; u++ {
+			gain := 0
+			pairsRow, distsRow := g.CoveredRow(u)
+			for i, w := range pairsRow {
+				if diff := curDist[w] - distsRow[i]; diff > 0 {
+					gain += int(diff) * int(g.Weight[w])
+				}
+			}
+			keys[u] = float64(gain)
+		}
+	}
+	if s.heap == nil {
+		s.heap = pq.NewMax(n)
+	} else {
+		s.heap.Reset(n)
+	}
+	heap := s.heap
+	heap.BuildFrom(keys)
+
+	warm = prev != nil && len(prev.Selected) >= k
+	res = &Result{Selected: make([]int, 0, k)}
+	for len(res.Selected) < k {
+		u, key := heap.PopMax()
+		// Exact gain of u against the current distances. Gains are
+		// integers, keys are exact float64 images of integers, so the
+		// freshness test is an exact comparison, not a tolerance.
+		gain := 0
+		pairsRow, distsRow := g.CoveredRow(u)
+		for i, w := range pairsRow {
+			if diff := curDist[w] - distsRow[i]; diff > 0 {
+				gain += int(diff) * int(g.Weight[w])
+			}
+		}
+		if float64(gain) != key {
+			heap.Push(u, float64(gain))
+			continue
+		}
+		if warm && prev.Selected[len(res.Selected)] != u {
+			warm = false
+		}
+		res.Selected = append(res.Selected, u)
+		for i, w := range pairsRow {
+			if d := distsRow[i]; d < curDist[w] {
+				curDist[w] = d
+			}
+		}
+	}
+	total := 0
+	for w, d := range curDist {
+		total += int(d) * int(g.Weight[w])
+	}
+	res.Cost = float64(total)
+	return res, warm
+}
+
 // GreedyRebuild is the ablation variant of Greedy (DESIGN.md ablation
 // 1): instead of incremental neighbor-of-neighbor key updates it
 // recomputes every candidate's gain and rebuilds the heap after each

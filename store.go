@@ -140,6 +140,12 @@ type StoreOptions struct {
 	// across shards.
 	MaxCacheBytes int64
 
+	// DisableCoverageIndex turns off the per-item incremental coverage
+	// index that makes append→summarize O(delta): every summary solve
+	// rebuilds the coverage graph from scratch (the pre-index
+	// behavior). Mainly for benchmarks and incident bisection.
+	DisableCoverageIndex bool
+
 	// Shards partitions the corpus across this many independent
 	// stores (default/≤1: a single partition). Each shard owns its own
 	// lock, generation counter, summary-cache slice and — in durable
@@ -217,19 +223,20 @@ func (s *Summarizer) NewStore(opts StoreOptions) Store {
 // snapshots.
 func (s *Summarizer) OpenStore(opts StoreOptions) (Store, error) {
 	cfg := store.Config{
-		Metric:          s.metric,
-		Pipeline:        s.pipeline,
-		Runtime:         s.rt,
-		Seed:            s.seed,
-		MaxCacheEntries: opts.MaxCacheEntries,
-		MaxCacheBytes:   opts.MaxCacheBytes,
-		DataDir:         opts.DataDir,
-		Fsync:           opts.Fsync,
-		FsyncInterval:   opts.FsyncInterval,
-		SnapshotEvery:   opts.SnapshotEvery,
-		SegmentBytes:    opts.WALSegmentBytes,
-		Replica:         opts.Replica,
-		Obs:             opts.Metrics,
+		Metric:               s.metric,
+		Pipeline:             s.pipeline,
+		Runtime:              s.rt,
+		Seed:                 s.seed,
+		MaxCacheEntries:      opts.MaxCacheEntries,
+		MaxCacheBytes:        opts.MaxCacheBytes,
+		DisableCoverageIndex: opts.DisableCoverageIndex,
+		DataDir:              opts.DataDir,
+		Fsync:                opts.Fsync,
+		FsyncInterval:        opts.FsyncInterval,
+		SnapshotEvery:        opts.SnapshotEvery,
+		SegmentBytes:         opts.WALSegmentBytes,
+		Replica:              opts.Replica,
+		Obs:                  opts.Metrics,
 	}
 	if opts.Shards > 1 {
 		return shard.New(shard.Config{
